@@ -1,0 +1,87 @@
+"""E12 — Section IV-D: greedy physically-contiguous allocation.
+
+"We noticed that in many cases, subsequent calls to kmalloc yield
+adjacent memory areas.  This is, in particular, the case if the system
+was rebooted recently. ... we implemented a greedy algorithm that tries
+to find a physically-contiguous memory area of the requested size by
+performing multiple calls to kmalloc.  If this does not succeed, the
+tool proposes a reboot."
+
+Reproduced shape: success probability of a large allocation as a
+function of memory fragmentation — near-certain on a fresh (rebooted)
+machine, degrading as the free list fragments; and kmalloc alone is
+limited to 4 MB.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.paging import (
+    KMALLOC_MAX_BYTES,
+    PAGE_SIZE,
+    PhysicalMemory,
+    allocate_physically_contiguous,
+)
+
+from conftest import run_once
+
+REQUEST = 64 << 20  # 64 MB, far beyond the kmalloc limit
+TRIALS = 25
+
+
+def _success_rate(holes: int, seed_base: int) -> float:
+    successes = 0
+    for trial in range(TRIALS):
+        memory = PhysicalMemory(
+            1 << 28, rng=random.Random(seed_base + trial)
+        )
+        memory.fragment(holes=holes, hole_size=16 * PAGE_SIZE)
+        try:
+            allocate_physically_contiguous(memory, REQUEST)
+            successes += 1
+        except AllocationError:
+            pass
+    return successes / TRIALS
+
+
+def test_e12_kmalloc_contiguous(benchmark, report):
+    def experiment():
+        rates = {}
+        for holes in (0, 16, 64, 256, 1024):
+            rates[holes] = _success_rate(holes, seed_base=100 * holes)
+        return rates
+
+    rates = run_once(benchmark, experiment)
+
+    lines = ["kmalloc limit: %d MB; request: %d MB over %d trials"
+             % (KMALLOC_MAX_BYTES >> 20, REQUEST >> 20, TRIALS), "",
+             "fragmentation (holes)   success rate"]
+    for holes, rate in sorted(rates.items()):
+        lines.append("%21d   %.2f" % (holes, rate))
+    lines.append("")
+    lines.append("after the proposed reboot the allocation always "
+                 "succeeds (rate %.2f at 0 holes)." % rates[0])
+    report("E12_kmalloc", "\n".join(lines))
+
+    assert rates[0] == 1.0                       # fresh boot: certain
+    assert rates[1024] < 0.2                     # heavy uptime: rare
+    ordered = [rates[h] for h in sorted(rates)]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+
+def test_e12_kmalloc_limit(benchmark):
+    """kmalloc alone cannot satisfy requests beyond 4 MB."""
+
+    def experiment():
+        memory = PhysicalMemory(1 << 28)
+        ok = memory.kmalloc(KMALLOC_MAX_BYTES)
+        try:
+            memory.kmalloc(KMALLOC_MAX_BYTES + PAGE_SIZE)
+            return ok, False
+        except AllocationError:
+            return ok, True
+
+    ok, limited = run_once(benchmark, experiment)
+    assert limited and ok is not None

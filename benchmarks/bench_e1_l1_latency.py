@@ -1,0 +1,54 @@
+"""E1 — Section III-A example: the L1 data-cache latency benchmark.
+
+Reproduces the paper's example invocation::
+
+    ./nanoBench.sh -asm "mov R14, [R14]" -asm_init "mov [R14], R14"
+                   -config cfg_Skylake.txt
+
+and checks the output values line by line (Instructions retired 1.00,
+Core cycles 4.00, Reference cycles 3.52, ports 2/3 at 0.50, L1_HIT 1.00).
+"""
+
+import pytest
+
+from repro.core.nanobench import NanoBench
+from repro.core.output import format_results
+from repro.perfctr.config import example_skylake_config
+
+from conftest import run_once
+
+PAPER_OUTPUT = {
+    "Instructions retired": 1.00,
+    "Core cycles": 4.00,
+    "Reference cycles": 3.52,
+    "UOPS_ISSUED.ANY": 1.00,
+    "UOPS_DISPATCHED_PORT.PORT_0": 0.00,
+    "UOPS_DISPATCHED_PORT.PORT_1": 0.00,
+    "UOPS_DISPATCHED_PORT.PORT_2": 0.50,
+    "UOPS_DISPATCHED_PORT.PORT_3": 0.50,
+    "MEM_LOAD_RETIRED.L1_HIT": 1.00,
+    "MEM_LOAD_RETIRED.L1_MISS": 0.00,
+}
+
+
+def test_e1_l1_latency_example(benchmark, report):
+    nb = NanoBench.kernel(uarch="Skylake", seed=0)
+
+    def experiment():
+        return nb.run(
+            asm="mov R14, [R14]",
+            asm_init="mov [R14], R14",
+            config=example_skylake_config(),
+        )
+
+    result = run_once(benchmark, experiment)
+
+    lines = ["%-32s %8s %8s" % ("counter", "paper", "measured")]
+    for name, expected in PAPER_OUTPUT.items():
+        lines.append(
+            "%-32s %8.2f %8.2f" % (name, expected, result[name])
+        )
+    report("E1_l1_latency", "\n".join(lines))
+
+    for name, expected in PAPER_OUTPUT.items():
+        assert result[name] == pytest.approx(expected, abs=0.02), name

@@ -1,0 +1,80 @@
+"""E4 — Section IV-A1: LFENCE vs CPUID serialization.
+
+"Paoloni observed that the execution time of the CPUID can differ by
+hundreds of cycles from run to run.  The variable µop count can be
+eliminated by setting the register RAX to a fixed value ...; this also
+reduces the variance in the execution time, but does not fully
+eliminate it."  nanoBench therefore serializes with LFENCE.
+
+Reproduced shape: with LFENCE serialization repeated measurements of a
+1-cycle instruction are exact and stable; with CPUID serialization the
+same measurement scatters by cycles, and direct CPUID latency
+measurements scatter by hundreds of cycles.
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines import AgnerLikeFramework
+from repro.core.nanobench import NanoBench
+from repro.uarch.core import SimulatedCore
+
+from conftest import run_once
+
+
+def _measure_series(serializer: str, n: int = 12):
+    values = []
+    for seed in range(n):
+        nb = NanoBench.kernel("Skylake", seed=seed)
+        values.append(nb.run(
+            asm="add RAX, RAX", serializer=serializer, aggregate="min"
+        )["Core cycles"])
+    return values
+
+
+def test_e4_serialization_comparison(benchmark, report):
+    def experiment():
+        lfence = _measure_series("lfence")
+        cpuid = _measure_series("cpuid")
+        # Raw CPUID latency spread (the Paoloni observation).
+        cpuid_latencies = []
+        for seed in range(12):
+            nb = NanoBench.kernel("Skylake", seed=seed)
+            cpuid_latencies.append(nb.run(
+                asm="cpuid", asm_init="xor RAX, RAX",
+                unroll_count=10, aggregate="med",
+            )["Core cycles"])
+        # The Agner-style framework inherits the CPUID noise.
+        agner_values = []
+        for seed in range(6):
+            agner = AgnerLikeFramework(SimulatedCore("Skylake", seed=seed))
+            agner_values.append(
+                agner.measure(asm="add RAX, RAX")["Core cycles"]
+            )
+        return lfence, cpuid, cpuid_latencies, agner_values
+
+    lfence, cpuid, cpuid_latencies, agner_values = run_once(
+        benchmark, experiment
+    )
+
+    def spread(values):
+        return max(values) - min(values)
+
+    report("E4_serialization", "\n".join([
+        "measurement of a 1-cycle ADD (min over 10 runs, 12 seeds):",
+        "  LFENCE serialization: mean %.3f, spread %.3f cycles"
+        % (statistics.mean(lfence), spread(lfence)),
+        "  CPUID serialization:  mean %.3f, spread %.3f cycles"
+        % (statistics.mean(cpuid), spread(cpuid)),
+        "raw CPUID latency: mean %.0f, spread %.0f cycles "
+        "(paper: differs by hundreds of cycles)"
+        % (statistics.mean(cpuid_latencies), spread(cpuid_latencies)),
+        "Agner-style framework on the same ADD: spread %.2f cycles"
+        % spread(agner_values),
+    ]))
+
+    assert spread(lfence) < 0.02                  # LFENCE: exact
+    assert statistics.mean(lfence) == pytest.approx(1.0, abs=0.02)
+    assert spread(cpuid) > 10 * max(spread(lfence), 1e-9)
+    assert spread(cpuid_latencies) > 60           # order of 10^2 cycles

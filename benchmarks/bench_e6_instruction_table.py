@@ -1,0 +1,98 @@
+"""E6 — Case study I (Section V): the instruction-characterization table.
+
+Sweeps the instruction corpus (latency, throughput, µops, port usage
+per variant) on Skylake, and a subset on Haswell and AMD Zen, producing
+uops.info-style table rows and the machine-readable XML export.
+
+Shape checks against public reference data (Intel optimization manual /
+uops.info):
+
+* ADD r64,r64: latency 1, throughput 0.25, 1*p0156 (Skylake);
+* IMUL r64,r64: latency 3, throughput 1, port 1 only;
+* loads: latency 4 (L1), throughput 0.5, ports 2/3;
+* MULSD: latency 4 on Skylake but 5 on Haswell;
+* privileged RDMSR measurable only by the kernel-space variant.
+"""
+
+import pytest
+
+from repro.core.nanobench import NanoBench
+from repro.tools.instr import (
+    characterize_corpus,
+    corpus_for_family,
+    profiles_to_table,
+    profiles_to_xml,
+)
+
+from conftest import run_once
+
+
+def test_e6_skylake_full_corpus(benchmark, report):
+    nb = NanoBench.kernel("Skylake", seed=1)
+
+    def experiment():
+        return characterize_corpus(nb)
+
+    profiles = run_once(benchmark, experiment)
+    by_name = {p.name: p for p in profiles}
+
+    report("E6_instruction_table_Skylake", profiles_to_table(profiles))
+    xml = profiles_to_xml(profiles, "Skylake")
+    assert "<architecture" in xml
+
+    measured = [p for p in profiles if p.error is None]
+    assert len(measured) >= 85
+
+    checks = {
+        "ADD (R64, R64)": (1.0, 0.25, "1*p0156"),
+        "IMUL (R64, R64)": (3.0, 1.0, "1*p1"),
+        "MOV (R64, M64) [load]": (4.0, 0.5, "1*p23"),
+        "MULSD (XMM, XMM)": (4.0, 0.5, "1*p01"),
+        "SHL (R64, I)": (1.0, 0.5, "1*p06"),
+    }
+    for name, (latency, throughput, ports) in checks.items():
+        profile = by_name[name]
+        assert profile.latency == pytest.approx(latency, abs=0.2), name
+        assert profile.throughput == pytest.approx(throughput, abs=0.1), name
+        assert profile.port_string == ports, name
+
+    # Privileged instruction measured (kernel-space specialty).
+    assert by_name["RDMSR (IA32_APERF)"].error is None
+    assert by_name["RDMSR (IA32_APERF)"].latency > 50
+
+
+def test_e6_cross_uarch_differences(benchmark, report):
+    corpus = {v.name: v for v in corpus_for_family("SKL")}
+    subset_names = [
+        "ADD (R64, R64)", "IMUL (R64, R64)", "MULSD (XMM, XMM)",
+        "ADDPD (XMM, XMM)", "MOV (R64, M64) [load]", "LEA (R64, [R64+R64])",
+    ]
+    subset = [corpus[name] for name in subset_names]
+
+    def experiment():
+        results = {}
+        for uarch in ("Skylake", "Haswell", "Zen"):
+            nb = NanoBench.kernel(uarch, seed=1)
+            family_subset = [
+                v for v in subset if v.supported_on(nb.core.spec.family)
+            ]
+            results[uarch] = characterize_corpus(nb, family_subset)
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    sections = []
+    for uarch, profiles in results.items():
+        sections.append("%s:\n%s" % (uarch, profiles_to_table(profiles)))
+    report("E6_cross_uarch", "\n\n".join(sections))
+
+    def lat(uarch, name):
+        return {p.name: p for p in results[uarch]}[name].latency
+
+    assert lat("Skylake", "MULSD (XMM, XMM)") == pytest.approx(4.0, abs=0.1)
+    assert lat("Haswell", "MULSD (XMM, XMM)") == pytest.approx(5.0, abs=0.1)
+    assert lat("Zen", "MULSD (XMM, XMM)") == pytest.approx(3.0, abs=0.1)
+    assert lat("Skylake", "ADDPD (XMM, XMM)") == pytest.approx(4.0, abs=0.1)
+    assert lat("Haswell", "ADDPD (XMM, XMM)") == pytest.approx(3.0, abs=0.1)
+    for uarch in ("Skylake", "Haswell", "Zen"):
+        assert lat(uarch, "ADD (R64, R64)") == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,51 @@
+"""X1 — future-work extension (Section VIII): TLB characterization.
+
+The paper names TLBs as the first undocumented structure nanoBench
+should be applied to next.  This benchmark runs the pointer-chase TLB
+sweep on the simulated Skylake and checks that the inferred parameters
+match the configured ground truth (64-entry 4-way dTLB, 1536-entry
+STLB — the documented Skylake values).
+"""
+
+import pytest
+
+from repro.core.nanobench import NanoBench
+from repro.tools.tlb import characterize_tlb, measure_miss_rates
+
+from conftest import run_once
+
+
+def test_x1_tlb_characterization(benchmark, report):
+    nb = NanoBench.kernel("Skylake", seed=0)
+    nb.resize_r14_buffer(32 << 20)
+
+    def experiment():
+        sweep = measure_miss_rates(
+            nb, [16, 32, 48, 64, 80, 96, 128, 256, 1024, 1536, 2048]
+        )
+        profile = characterize_tlb(nb, max_pages=2048)
+        return sweep, profile
+
+    sweep, profile = run_once(benchmark, experiment)
+
+    lines = ["pages   dTLB-miss/access   walk/access"]
+    for count in sweep.page_counts:
+        lines.append("%5d   %16.2f   %11.2f" % (
+            count, sweep.miss_rates[count], sweep.walk_rates[count]
+        ))
+    lines.append("")
+    lines.append("inferred: dTLB capacity %s (truth 64), "
+                 "associativity %s (truth 4), STLB capacity %s "
+                 "(truth 1536)" % (
+                     profile.dtlb_capacity, profile.dtlb_associativity,
+                     profile.stlb_capacity,
+                 ))
+    report("X1_tlb", "\n".join(lines))
+
+    spec = nb.core.spec
+    assert profile.dtlb_capacity == spec.dtlb_entries
+    assert profile.dtlb_associativity == spec.dtlb_associativity
+    assert profile.stlb_capacity == spec.stlb_entries
+    # The step shape: sharp transition at the capacity.
+    assert sweep.miss_rates[64] < 0.05
+    assert sweep.miss_rates[80] > 0.9

@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Each benchmark regenerates one table or figure of the paper.  Besides
+the pytest-benchmark timing, every experiment writes its reproduced
+rows/series to ``benchmarks/results/<experiment>.txt`` so the outputs
+survive the pytest capture.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write (and echo) an experiment's reproduced output."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(experiment: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, "%s.txt" % experiment)
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+        print("\n=== %s ===\n%s" % (experiment, text))
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run a (possibly expensive) experiment exactly once under
+    pytest-benchmark accounting."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Case study I (Section V): characterize instruction variants.
+
+Measures latency, throughput, µop count and port usage for a selection
+of instruction variants on two microarchitectures and prints
+uops.info-style table rows — including a privileged instruction, which
+only the kernel-space variant can benchmark.
+
+Run: ``python examples/instruction_characterization.py [uarch ...]``
+"""
+
+import sys
+
+from repro.core.nanobench import NanoBench
+from repro.tools.instr import (
+    characterize_variant,
+    corpus_for_family,
+    profiles_to_table,
+)
+
+INTERESTING = [
+    "ADD (R64, R64)", "ADD (R64, M64)", "IMUL (R64, R64)", "DIV (R64)",
+    "MOV (R64, R64)", "MOV (R64, M64) [load]", "MOV (M64, R64) [store]",
+    "LEA (R64, [R64+R64])", "LEA (R64, [R64+R64+D]) [complex]",
+    "CMOVZ (R64, R64)", "ADC (R64, R64)",
+    "PADDD (XMM, XMM)", "MULSD (XMM, XMM)", "VFMADD231PS (XMM, XMM, XMM)",
+    "VPADDD (ZMM, ZMM, ZMM)",
+    "RDMSR (IA32_APERF)", "CPUID", "LFENCE",
+]
+
+
+def main() -> None:
+    uarches = sys.argv[1:] or ["Skylake", "Haswell"]
+    for uarch in uarches:
+        nb = NanoBench.kernel(uarch=uarch)
+        corpus = {v.name: v for v in corpus_for_family(nb.core.spec.family)}
+        profiles = [
+            characterize_variant(nb, corpus[name])
+            for name in INTERESTING if name in corpus
+        ]
+        print("== %s (%s) ==" % (nb.core.spec.name, nb.core.spec.cpu_model))
+        print(profiles_to_table(profiles))
+        print()
+
+
+if __name__ == "__main__":
+    main()

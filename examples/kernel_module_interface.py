@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Drive nanoBench through the kernel module's virtual files.
+
+Section IV-C: "setting the loop count, or the code of [the]
+microbenchmark is done by writing the corresponding values to specific
+files under /sys/nb/.  Reading the file /proc/nanoBench generates the
+code for running the benchmark, runs the benchmark ... and returns the
+result" — the interface the shell scripts and the Python bindings wrap.
+
+Also demonstrates the binary-code path: the benchmark is encoded to
+machine code (with the magic pause/resume byte sequences of Section
+III-I) and written to the ``code`` virtual file.
+
+Run: ``python examples/kernel_module_interface.py``
+"""
+
+from repro.kernel import PROC_PATH, SYS_PREFIX, KernelModule
+from repro.x86 import assemble, encode_program
+
+
+def main() -> None:
+    module = KernelModule("Skylake")
+    print("Loaded the (simulated) nanoBench kernel module.")
+    print("Virtual files:")
+    for path in module.available_files():
+        print("   ", path)
+    print()
+
+    # --- configure and run an assembly benchmark -----------------------
+    module.write_file(SYS_PREFIX + "asm", "mov R14, [R14]")
+    module.write_file(SYS_PREFIX + "asm_init", "mov [R14], R14")
+    module.write_file(SYS_PREFIX + "unroll_count", 100)
+    module.write_file(SYS_PREFIX + "n_measurements", 10)
+    module.write_file(SYS_PREFIX + "agg", "avg")
+    module.write_file(
+        SYS_PREFIX + "config",
+        "0E.01 UOPS_ISSUED.ANY\n"
+        "D1.01 MEM_LOAD_RETIRED.L1_HIT\n",
+    )
+    print("cat %s:" % PROC_PATH)
+    print(module.read_file(PROC_PATH))
+
+    # --- run machine code containing the magic byte sequences ----------
+    module.write_file(SYS_PREFIX + "reset", 1)
+    program = assemble(
+        "pause_counting; "
+        "mov RAX, [RSI]; mov RAX, [RSI+64]; "  # excluded from counting
+        "resume_counting; "
+        "mov RAX, [RSI]"                       # only this load counts
+    )
+    module.write_file(SYS_PREFIX + "code", encode_program(program))
+    module.write_file(SYS_PREFIX + "no_mem", 1)
+    module.write_file(SYS_PREFIX + "unroll_count", 1)
+    module.write_file(SYS_PREFIX + "warm_up_count", 1)
+    module.write_file(
+        SYS_PREFIX + "config", "D1.01 MEM_LOAD_RETIRED.L1_HIT\n"
+    )
+    module.write_file(SYS_PREFIX + "fixed_counters", 0)
+    print("binary benchmark with pause/resume magic sequences:")
+    print(module.read_file(PROC_PATH))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Section III-A example.
+
+Measures the L1 data-cache latency on a (simulated) Skylake by pointer
+chasing: ``mov R14, [R14]`` with the initialization ``mov [R14], R14``.
+Equivalent to::
+
+    ./nanoBench.sh -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \\
+                   -config cfg_Skylake.txt
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import NanoBench
+from repro.core.output import format_results
+from repro.perfctr.config import example_skylake_config
+
+
+def main() -> None:
+    # The kernel-space variant: interrupts disabled, privileged
+    # instructions available, most accurate (Section III-D).
+    nb = NanoBench.kernel(uarch="Skylake")
+
+    result = nb.run(
+        asm="mov R14, [R14]",        # load R14 <- [R14]: a pointer chase
+        asm_init="mov [R14], R14",   # init: make [R14] point to itself
+        config=example_skylake_config(),
+    )
+
+    print(format_results(result))
+    print()
+    print("=> The L1 data cache latency is %.0f cycles."
+          % result["Core cycles"])
+    print("=> The load dispatched to ports 2 and 3 in equal parts "
+          "(%.2f / %.2f)." % (
+              result["UOPS_DISPATCHED_PORT.PORT_2"],
+              result["UOPS_DISPATCHED_PORT.PORT_3"],
+          ))
+
+    # Any other microbenchmark works the same way:
+    print()
+    print("A few one-liners:")
+    for asm, what in [
+        ("add RAX, RAX", "dependent ADD chain (latency)"),
+        ("add RAX, 1; add RBX, 1; add RCX, 1; add RDX, 1",
+         "independent ADDs (throughput x4)"),
+        ("imul RAX, RAX", "IMUL latency"),
+    ]:
+        cycles = nb.run(asm=asm)["Core cycles"]
+        print("  %-50s %5.2f cycles" % (what, cycles))
+
+
+if __name__ == "__main__":
+    main()

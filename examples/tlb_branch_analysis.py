@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Future-work extensions (Section VIII): TLBs and branch predictors.
+
+"There are two main directions for future work ... to apply nanoBench
+to additional use cases ... for example, details on how the TLBs or the
+branch predictors work."
+
+This example measures the dTLB capacity step and the per-pattern branch
+misprediction rates on the simulated Skylake, then reports the inferred
+parameters next to the configured ground truth.
+
+Run: ``python examples/tlb_branch_analysis.py``
+"""
+
+from repro.core.nanobench import NanoBench
+from repro.tools.branch import DISTINGUISHING_PATTERNS, characterize_predictor
+from repro.tools.tlb import measure_miss_rates
+
+
+def main() -> None:
+    nb = NanoBench.kernel("Skylake")
+    nb.resize_r14_buffer(32 << 20)
+
+    print("dTLB capacity sweep (pointer chase, one load per page):")
+    sweep = measure_miss_rates(nb, [16, 32, 48, 64, 80, 96, 128])
+    print("  pages:       " + "  ".join("%5d" % n for n in sweep.page_counts))
+    print("  misses/load: " + "  ".join(
+        "%5.2f" % sweep.miss_rates[n] for n in sweep.page_counts))
+    print("  -> capacity estimate: %s pages (ground truth: %d)" % (
+        sweep.capacity_estimate(), nb.core.spec.dtlb_entries))
+    print()
+
+    print("Branch predictor: misprediction rate per direction pattern")
+    profile = characterize_predictor(nb, repetitions=48)
+    print("  pattern   measured   2-bit model")
+    for pattern in DISTINGUISHING_PATTERNS:
+        print("  %-9s %8.3f   %11.3f" % (
+            pattern, profile.measured[pattern],
+            profile.model_rates[2][pattern],
+        ))
+    print("  -> best fitting model: %s-bit saturating counters "
+          "(ground truth: 2)" % profile.inferred_bits)
+
+
+if __name__ == "__main__":
+    main()

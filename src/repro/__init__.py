@@ -1,0 +1,23 @@
+"""repro — a reproduction of nanoBench (Abel & Reineke, ISPASS 2020).
+
+The package implements nanoBench — a low-overhead tool for running
+microbenchmarks with hardware performance counters — on top of a
+simulated x86 system: an out-of-order timing model, a multi-level cache
+hierarchy with the paper's full catalogue of replacement policies, a
+performance-monitoring unit, and a user/kernel privilege model.
+
+Quickstart (the paper's Section III-A example)::
+
+    from repro import NanoBench
+
+    nb = NanoBench.kernel(uarch="Skylake")
+    result = nb.run(asm="mov R14, [R14]", asm_init="mov [R14], R14")
+    print(result["Core cycles"])            # 4.0 — the L1 load latency
+"""
+
+__version__ = "1.0.0"
+
+from .core.nanobench import NanoBench, NanoBenchOptions  # noqa: E402
+from .core.runner import AggregateFunction  # noqa: E402
+
+__all__ = ["NanoBench", "NanoBenchOptions", "AggregateFunction", "__version__"]

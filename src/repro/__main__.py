@@ -1,0 +1,6 @@
+"""``python -m repro`` — the nanoBench command-line interface."""
+
+from .core.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

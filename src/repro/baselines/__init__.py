@@ -1,0 +1,13 @@
+"""Related-work baselines the paper compares against (Sections I, VII)."""
+
+from .agner_like import AgnerLikeFramework, RESERVED_REGISTERS
+from .papi_like import PapiLikeCounters
+from .whole_program import StartupModel, WholeProgramProfiler
+
+__all__ = [
+    "AgnerLikeFramework",
+    "PapiLikeCounters",
+    "RESERVED_REGISTERS",
+    "StartupModel",
+    "WholeProgramProfiler",
+]

@@ -1,0 +1,37 @@
+"""nanoBench core: code generation, measurement, the public facade."""
+
+from .codegen import (
+    AREA_SIZE,
+    CounterRead,
+    GeneratedCode,
+    LOOP_REGISTER,
+    MEASUREMENT_AREA_BASE,
+    NOMEM_REGISTERS,
+    R14_AREA_BASE,
+    SCRATCH_REGISTERS,
+    generate,
+)
+from .nanobench import ExecutionReport, NanoBench
+from .options import NanoBenchOptions
+from .output import format_results, format_table
+from .runner import AggregateFunction, aggregate_values, run_measurements
+
+__all__ = [
+    "AREA_SIZE",
+    "AggregateFunction",
+    "CounterRead",
+    "ExecutionReport",
+    "GeneratedCode",
+    "LOOP_REGISTER",
+    "MEASUREMENT_AREA_BASE",
+    "NOMEM_REGISTERS",
+    "NanoBench",
+    "NanoBenchOptions",
+    "R14_AREA_BASE",
+    "SCRATCH_REGISTERS",
+    "aggregate_values",
+    "format_results",
+    "format_table",
+    "generate",
+    "run_measurements",
+]

@@ -1,0 +1,113 @@
+"""Command-line interface mirroring ``nanoBench.sh`` (Section III-E).
+
+Example (the paper's Section III-A call)::
+
+    nanobench -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \\
+              -config cfg_Skylake.txt -uarch Skylake -kernel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..perfctr.config import example_skylake_config, parse_config_file
+from ..perfctr.events import event_catalog
+from ..x86.decoder import decode_program
+from .nanobench import NanoBench
+from .options import NanoBenchOptions
+from .output import format_results
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nanobench",
+        description="nanoBench (simulated): run microbenchmarks with "
+                    "hardware performance counters",
+    )
+    parser.add_argument("-asm", default="", help="benchmark code (Intel syntax)")
+    parser.add_argument("-asm_init", default="",
+                        help="initialization code (Intel syntax)")
+    parser.add_argument("-code", default=None,
+                        help="binary file with encoded benchmark code")
+    parser.add_argument("-code_init", default=None,
+                        help="binary file with encoded init code")
+    parser.add_argument("-config", default=None,
+                        help="performance-counter configuration file")
+    parser.add_argument("-uarch", default="Skylake",
+                        help="simulated microarchitecture (default Skylake)")
+    parser.add_argument("-kernel", action="store_true", default=True,
+                        help="use the kernel-space variant (default)")
+    parser.add_argument("-user", dest="kernel", action="store_false",
+                        help="use the user-space variant")
+    parser.add_argument("-unroll_count", type=int, default=100)
+    parser.add_argument("-loop_count", type=int, default=0)
+    parser.add_argument("-n_measurements", type=int, default=10)
+    parser.add_argument("-warm_up_count", type=int, default=0)
+    parser.add_argument("-initial_warm_up_count", type=int, default=0)
+    parser.add_argument("-agg", choices=("min", "med", "avg"), default="avg")
+    parser.add_argument("-basic_mode", action="store_true")
+    parser.add_argument("-no_mem", action="store_true")
+    parser.add_argument("-serializer", choices=("lfence", "cpuid"),
+                        default="lfence")
+    parser.add_argument("-no_fixed_counters", dest="fixed_counters",
+                        action="store_false")
+    parser.add_argument("-aperf_mperf", action="store_true")
+    parser.add_argument("-seed", type=int, default=0)
+    parser.add_argument("-verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    options = NanoBenchOptions(
+        unroll_count=args.unroll_count,
+        loop_count=args.loop_count,
+        n_measurements=args.n_measurements,
+        warm_up_count=args.warm_up_count,
+        initial_warm_up_count=args.initial_warm_up_count,
+        aggregate=args.agg,
+        basic_mode=args.basic_mode,
+        no_mem=args.no_mem,
+        serializer=args.serializer,
+        fixed_counters=args.fixed_counters,
+        aperf_mperf=args.aperf_mperf,
+        verbose=args.verbose,
+    )
+    factory = NanoBench.kernel if args.kernel else NanoBench.user
+    nb = factory(uarch=args.uarch, seed=args.seed, options=options)
+
+    config = None
+    if args.config is not None:
+        catalog = event_catalog(nb.core.spec.family, nb.core.spec.n_cboxes)
+        config = parse_config_file(args.config, catalog)
+    elif nb.core.spec.family == "SKL":
+        config = example_skylake_config()
+
+    kwargs = {}
+    if args.code is not None:
+        with open(args.code, "rb") as handle:
+            kwargs["code"] = decode_program(handle.read())
+    if args.code_init is not None:
+        with open(args.code_init, "rb") as handle:
+            kwargs["init"] = decode_program(handle.read())
+
+    results = nb.run(asm=args.asm, asm_init=args.asm_init, config=config,
+                     **kwargs)
+    print(format_results(results))
+    if args.verbose:
+        report = nb.last_report
+        print(
+            "# %d runs, %d counter groups, %d simulated cycles, "
+            "modelled wall time %.1f ms"
+            % (report.program_runs, report.counter_groups,
+               report.simulated_cycles,
+               report.wall_time_ms(args.kernel, nb.core.spec.frequency_ghz)),
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

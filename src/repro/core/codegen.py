@@ -1,0 +1,361 @@
+"""Code generation for microbenchmarks (Algorithm 1 / Section IV-B).
+
+nanoBench runs a microbenchmark by generating a function::
+
+    saveRegs
+    codeInit
+    m1 <- readPerfCtrs            # no function calls, no branches
+    for j in 0..loopCount:        # omitted when loopCount == 0
+        code  (x localUnrollCount copies)
+    m2 <- readPerfCtrs
+    restoreRegs
+    return (m2 - m1) / (max(1, loopCount) * localUnrollCount)
+
+This module builds the measured part of that function as a
+:class:`~repro.x86.instructions.Program`: counter-read sequences
+(LFENCE- or CPUID-serialized, registers preserved via the scratch area),
+the unrolled/looped benchmark body, and the noMem register-resident
+variant.  Register save/restore is performed by the runner through an
+architectural snapshot, which is observationally equivalent (it happens
+strictly outside the measured region).
+
+Magic pause/resume byte sequences inside the benchmark code are
+replaced here (Section IV-B): the pause toggle is fenced so that
+straddling µops cannot leak across the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NanoBenchError
+from ..perfctr.counters import (
+    MSR_IA32_APERF,
+    MSR_IA32_MPERF,
+)
+from ..perfctr.events import PerfEvent
+from ..x86.instructions import Instruction, Program
+from ..x86.operands import Immediate, MemoryOperand, Register
+from .options import NanoBenchOptions
+
+# ----------------------------------------------------------------------
+# Scratch memory areas (Section III-G): nanoBench initializes RSP, RBP,
+# RDI, RSI and R14 to point into dedicated 1 MB areas.
+# ----------------------------------------------------------------------
+AREA_SIZE = 1 << 20
+
+R14_AREA_BASE = 0x1000_0000
+RSP_AREA_BASE = 0x2000_0000
+RBP_AREA_BASE = 0x3000_0000
+RDI_AREA_BASE = 0x4000_0000
+RSI_AREA_BASE = 0x5000_0000
+#: Internal area for counter values and register spills (not visible to
+#: the benchmark).
+MEASUREMENT_AREA_BASE = 0x6000_0000
+MEASUREMENT_AREA_SIZE = 1 << 16
+
+#: Byte offsets inside the measurement area.
+_SPILL_OFFSET = 0x0         # RAX/RCX/RDX spill slots
+_M1_OFFSET = 0x100          # first counter-read results
+_M2_OFFSET = 0x800          # second counter-read results
+#: Post-measurement dump of the noMem registers.  Deliberately NOT
+#: congruent (mod L1 sets) with the spill line: the entire point of
+#: noMem mode is that nothing the measurement does conflicts with the
+#: benchmark's cache sets beyond what the user can see (Section III-I).
+_NOMEM_OUT_OFFSET = 0x1040
+
+SCRATCH_REGISTERS = {
+    "R14": R14_AREA_BASE,
+    "RSP": RSP_AREA_BASE + AREA_SIZE // 2,
+    "RBP": RBP_AREA_BASE + AREA_SIZE // 2,
+    "RDI": RDI_AREA_BASE,
+    "RSI": RSI_AREA_BASE,
+}
+
+#: Registers holding accumulated counter values in noMem mode; the
+#: benchmark must not modify them (Section III-I).
+NOMEM_REGISTERS = ("R8", "R9", "R10", "R11", "R12", "R13")
+
+#: The loop counter register the benchmark must not modify when
+#: loop_count > 0 (Section III-B).
+LOOP_REGISTER = "R15"
+
+
+@dataclass(frozen=True)
+class CounterRead:
+    """One counter to read in the measurement sequence."""
+
+    name: str
+    kind: str  # "fixed", "programmable", "msr"
+    index: int  # RDPMC index or MSR address
+
+    @property
+    def rdpmc_index(self) -> int:
+        if self.kind == "fixed":
+            return (1 << 30) | self.index
+        if self.kind == "programmable":
+            return self.index
+        raise NanoBenchError("%s is not RDPMC-readable" % (self.name,))
+
+
+@dataclass
+class GeneratedCode:
+    """The generated measurement function plus its result layout."""
+
+    program: Program
+    counters: Tuple[CounterRead, ...]
+    local_unroll_count: int
+    loop_count: int
+    no_mem: bool
+
+    @property
+    def m1_addresses(self) -> List[int]:
+        return [MEASUREMENT_AREA_BASE + _M1_OFFSET + 8 * i
+                for i in range(len(self.counters))]
+
+    @property
+    def m2_addresses(self) -> List[int]:
+        return [MEASUREMENT_AREA_BASE + _M2_OFFSET + 8 * i
+                for i in range(len(self.counters))]
+
+    @property
+    def nomem_addresses(self) -> List[int]:
+        return [MEASUREMENT_AREA_BASE + _NOMEM_OUT_OFFSET + 8 * i
+                for i in range(len(self.counters))]
+
+
+def _mem(address: int, size: int = 8) -> MemoryOperand:
+    return MemoryOperand(displacement=address, size=size)
+
+
+def _mov_imm(register: str, value: int) -> Instruction:
+    return Instruction("MOV", (Register(register), Immediate(value, width=64)))
+
+
+def _serializer_instructions(serializer: str) -> List[Instruction]:
+    """Serialization barrier around counter reads (Section IV-A1)."""
+    if serializer == "lfence":
+        return [Instruction("LFENCE")]
+    # CPUID: set RAX to a fixed value first, which removes the
+    # input-dependent µop-count variation (but not the latency jitter).
+    return [
+        Instruction("MOV", (Register("RAX"), Immediate(0))),
+        Instruction("CPUID"),
+    ]
+
+
+def _read_one_counter(counter: CounterRead) -> List[Instruction]:
+    """RDPMC/RDMSR one counter into RAX (clobbers RCX/RDX)."""
+    if counter.kind == "msr":
+        read = Instruction("RDMSR")
+        index = counter.index
+    else:
+        read = Instruction("RDPMC")
+        index = counter.rdpmc_index
+    return [
+        _mov_imm("RCX", index),
+        read,
+        Instruction("SHL", (Register("RDX"), Immediate(32))),
+        Instruction("OR", (Register("RAX"), Register("RDX"))),
+    ]
+
+
+def _spill_regs() -> List[Instruction]:
+    base = MEASUREMENT_AREA_BASE + _SPILL_OFFSET
+    return [
+        Instruction("MOV", (_mem(base + 0), Register("RAX"))),
+        Instruction("MOV", (_mem(base + 8), Register("RCX"))),
+        Instruction("MOV", (_mem(base + 16), Register("RDX"))),
+    ]
+
+
+def _restore_regs() -> List[Instruction]:
+    base = MEASUREMENT_AREA_BASE + _SPILL_OFFSET
+    return [
+        Instruction("MOV", (Register("RAX"), _mem(base + 0))),
+        Instruction("MOV", (Register("RCX"), _mem(base + 8))),
+        Instruction("MOV", (Register("RDX"), _mem(base + 16))),
+    ]
+
+
+def read_perf_ctrs_to_memory(
+    counters: Sequence[CounterRead], out_offset: int, serializer: str
+) -> List[Instruction]:
+    """The readPerfCtrs block, storing results to the measurement area.
+
+    "Stores results in memory, does not modify registers" (Algorithm 1):
+    RAX/RCX/RDX are spilled first and restored afterwards.
+    """
+    instructions: List[Instruction] = []
+    instructions += _spill_regs()
+    instructions += _serializer_instructions(serializer)
+    for i, counter in enumerate(counters):
+        instructions += _read_one_counter(counter)
+        address = MEASUREMENT_AREA_BASE + out_offset + 8 * i
+        instructions.append(
+            Instruction("MOV", (_mem(address), Register("RAX")))
+        )
+    instructions += _serializer_instructions(serializer)
+    instructions += _restore_regs()
+    return instructions
+
+
+def read_perf_ctrs_nomem(
+    counters: Sequence[CounterRead], serializer: str, *, first: bool
+) -> List[Instruction]:
+    """The noMem readPerfCtrs block (Section III-I).
+
+    The first read negates the counter value into R8..; the second adds
+    the new value, leaving the difference in the register.  RAX/RCX/RDX
+    are clobbered (noMem's documented register constraints).
+    """
+    if len(counters) > len(NOMEM_REGISTERS):
+        raise NanoBenchError(
+            "noMem mode supports at most %d counters, got %d"
+            % (len(NOMEM_REGISTERS), len(counters))
+        )
+    instructions: List[Instruction] = []
+    instructions += _serializer_instructions(serializer)
+    for register, counter in zip(NOMEM_REGISTERS, counters):
+        instructions += _read_one_counter(counter)
+        if first:
+            # R = -value
+            instructions.append(
+                Instruction("XOR", (Register(register), Register(register)))
+            )
+            instructions.append(
+                Instruction("SUB", (Register(register), Register("RAX")))
+            )
+        else:
+            instructions.append(
+                Instruction("ADD", (Register(register), Register("RAX")))
+            )
+    instructions += _serializer_instructions(serializer)
+    return instructions
+
+
+def _dump_nomem_registers(counters: Sequence[CounterRead]) -> List[Instruction]:
+    """Store the accumulated noMem registers after the measurement."""
+    instructions = []
+    for i, register in enumerate(NOMEM_REGISTERS[:len(counters)]):
+        address = MEASUREMENT_AREA_BASE + _NOMEM_OUT_OFFSET + 8 * i
+        instructions.append(
+            Instruction("MOV", (_mem(address), Register(register)))
+        )
+    return instructions
+
+
+def _replace_magic_sequences(
+    body: List[Instruction], no_mem: bool
+) -> List[Instruction]:
+    """Expand PAUSE/RESUME pseudo-instructions (Section IV-B).
+
+    Pausing is only supported in noMem mode (Section III-I); the toggle
+    is fenced so in-flight µops cannot straddle the boundary.
+    """
+    has_magic = any(
+        instr.mnemonic in ("PAUSE_COUNTING", "RESUME_COUNTING")
+        for instr in body
+    )
+    if not has_magic:
+        return body
+    if not no_mem:
+        raise NanoBenchError(
+            "pause/resume magic sequences require noMem mode"
+        )
+    replaced: List[Instruction] = []
+    for instr in body:
+        if instr.mnemonic == "PAUSE_COUNTING":
+            replaced.append(Instruction("LFENCE"))
+            replaced.append(instr)
+        elif instr.mnemonic == "RESUME_COUNTING":
+            replaced.append(instr)
+            replaced.append(Instruction("LFENCE"))
+        else:
+            replaced.append(instr)
+    return replaced
+
+
+def generate(
+    code: Program,
+    init: Program,
+    counters: Sequence[CounterRead],
+    options: NanoBenchOptions,
+    local_unroll_count: int,
+) -> GeneratedCode:
+    """Generate the measurement function of Algorithm 1.
+
+    ``local_unroll_count`` may differ from ``options.unroll_count``:
+    nanoBench generates two versions (n and 2n, or 0 and n) and reports
+    the difference (Section III-C).
+    """
+    if code.labels and local_unroll_count > 1:
+        raise NanoBenchError(
+            "benchmarks with labels cannot be unrolled; use loop_count"
+        )
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    # codeInit (line 3).
+    instructions.extend(init.instructions)
+
+    # m1 <- readPerfCtrs (line 4).
+    if options.no_mem:
+        instructions += read_perf_ctrs_nomem(
+            counters, options.serializer, first=True
+        )
+    else:
+        instructions += read_perf_ctrs_to_memory(
+            counters, _M1_OFFSET, options.serializer
+        )
+
+    # Loop + unrolled copies (lines 5-9).
+    body = _replace_magic_sequences(list(code.instructions), options.no_mem)
+    unrolled: List[Instruction] = []
+    for _ in range(local_unroll_count):
+        unrolled.extend(body)
+    if options.loop_count > 0 and local_unroll_count > 0:
+        instructions.append(_mov_imm(LOOP_REGISTER, options.loop_count))
+        labels["nb_loop"] = len(instructions)
+        if code.labels and local_unroll_count == 1:
+            offset = len(instructions)
+            for name, index in code.labels.items():
+                labels[name] = index + offset
+        instructions.extend(unrolled)
+        instructions.append(
+            Instruction("SUB", (Register(LOOP_REGISTER), Immediate(1)))
+        )
+        instructions.append(Instruction("JNZ", (), target="nb_loop"))
+    else:
+        if code.labels and local_unroll_count == 1:
+            # A single, un-unrolled copy keeps its internal labels.
+            offset = len(instructions)
+            for name, index in code.labels.items():
+                labels[name] = index + offset
+        instructions.extend(unrolled)
+
+    # m2 <- readPerfCtrs (line 10).
+    if options.no_mem:
+        instructions += read_perf_ctrs_nomem(
+            counters, options.serializer, first=False
+        )
+        instructions += _dump_nomem_registers(counters)
+    else:
+        instructions += read_perf_ctrs_to_memory(
+            counters, _M2_OFFSET, options.serializer
+        )
+
+    program = Program(tuple(instructions), labels)
+    return GeneratedCode(
+        program=program,
+        counters=tuple(counters),
+        local_unroll_count=local_unroll_count,
+        loop_count=options.loop_count,
+        no_mem=options.no_mem,
+    )
+
+
+def initial_register_values() -> Dict[str, int]:
+    """Register initialisation of Section III-G."""
+    return dict(SCRATCH_REGISTERS)

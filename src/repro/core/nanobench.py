@@ -1,0 +1,377 @@
+"""The nanoBench facade: user-space and kernel-space benchmarking.
+
+This is the library's primary public API (and the Python interface the
+paper provides for its case studies, Section III-E)::
+
+    nb = NanoBench.kernel(uarch="Skylake")
+    result = nb.run(asm="mov R14, [R14]", asm_init="mov [R14], R14")
+    # result["Core cycles"] == 4.0  (the L1 load latency)
+
+Features implemented per the paper:
+
+* two variants — kernel space (privileged instructions, interrupts
+  disabled, uncore + APERF/MPERF counters, physically-contiguous
+  memory) and user space (Section III-D);
+* two-run overhead cancellation: the code is generated once with
+  localUnrollCount = unroll_count and once with 2 x (or 0 in basic
+  mode); the reported result is the difference (Section III-C);
+* automatic splitting of event lists over the available programmable
+  counters (Section III-J);
+* scratch-register initialisation, warm-up runs, loop/unroll control,
+  noMem mode, LFENCE/CPUID serialization.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import NanoBenchError
+from ..perfctr.config import CounterConfig, split_into_groups
+from ..perfctr.counters import (
+    MSR_IA32_APERF,
+    MSR_IA32_MPERF,
+    MSR_UNCORE_CBOX_BASE,
+)
+from ..perfctr.events import PerfEvent, event_catalog
+from ..uarch.core import SimulatedCore
+from ..x86.assembler import assemble
+from ..x86.instructions import Program
+from .codegen import (
+    AREA_SIZE,
+    MEASUREMENT_AREA_BASE,
+    MEASUREMENT_AREA_SIZE,
+    R14_AREA_BASE,
+    RBP_AREA_BASE,
+    RDI_AREA_BASE,
+    RSI_AREA_BASE,
+    RSP_AREA_BASE,
+    CounterRead,
+    GeneratedCode,
+    SCRATCH_REGISTERS,
+    generate,
+)
+from .options import NanoBenchOptions
+from .runner import aggregate_values, run_measurements
+
+#: Wall-clock cost model for the Section III-K experiment, calibrated to
+#: the paper's Core i7-8700K numbers (~15 ms kernel / ~50 ms user for a
+#: NOP benchmark with unroll 100, n = 10, 4 events): a fixed setup cost
+#: per nanoBench invocation plus a per-run cost (virtual-file round trip
+#: for the kernel module; process/SIGALRM machinery in user space).
+KERNEL_SETUP_MS = 2.0
+KERNEL_PER_RUN_MS = 0.62
+USER_SETUP_MS = 21.0
+USER_PER_RUN_MS = 1.40
+
+_FIXED_COUNTER_NAMES = (
+    "Instructions retired", "Core cycles", "Reference cycles",
+)
+
+
+@dataclass
+class ExecutionReport:
+    """Cost accounting for the last :meth:`NanoBench.run` call."""
+
+    simulated_cycles: int = 0
+    program_runs: int = 0
+    counter_groups: int = 0
+    host_seconds: float = 0.0
+
+    def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
+        """Modelled wall-clock time of the equivalent native invocation."""
+        compute_ms = self.simulated_cycles / (frequency_ghz * 1e6)
+        if kernel_mode:
+            return KERNEL_SETUP_MS + KERNEL_PER_RUN_MS * self.program_runs + compute_ms
+        return USER_SETUP_MS + USER_PER_RUN_MS * self.program_runs + compute_ms
+
+
+class NanoBench:
+    """One nanoBench instance bound to a simulated core."""
+
+    def __init__(
+        self,
+        core: SimulatedCore,
+        *,
+        kernel_mode: bool = True,
+        options: Optional[NanoBenchOptions] = None,
+    ) -> None:
+        self.core = core
+        self.kernel_mode = kernel_mode
+        self.options = options if options is not None else NanoBenchOptions()
+        self._r14_size = AREA_SIZE
+        self._r14_physical_base: Optional[int] = None
+        self._map_scratch_areas()
+        # The user-space setup enables CR4.PCE so RDPMC works at CPL 3.
+        self.core.pmu.user_rdpmc_enabled = True
+        self.last_report = ExecutionReport()
+        #: Raw (un-aggregated) per-run ``m2 - m1`` values of the most
+        #: recent counter group, keyed by localUnrollCount.  Exposed for
+        #: noise analyses (e.g. comparing aggregate functions).
+        self.last_raw_series: Dict[int, Dict[str, List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def kernel(cls, uarch: str = "Skylake", seed: int = 0,
+               options: Optional[NanoBenchOptions] = None) -> "NanoBench":
+        """Create the kernel-space variant on a fresh simulated CPU."""
+        return cls(SimulatedCore(uarch, seed=seed), kernel_mode=True,
+                   options=options)
+
+    @classmethod
+    def user(cls, uarch: str = "Skylake", seed: int = 0,
+             options: Optional[NanoBenchOptions] = None) -> "NanoBench":
+        """Create the user-space variant on a fresh simulated CPU."""
+        return cls(SimulatedCore(uarch, seed=seed), kernel_mode=False,
+                   options=options)
+
+    # ------------------------------------------------------------------
+    # Memory areas (Section III-G)
+    # ------------------------------------------------------------------
+    def _map_scratch_areas(self) -> None:
+        space = self.core.address_space
+        if self.kernel_mode:
+            self._r14_physical_base = space.map_kernel_contiguous(
+                R14_AREA_BASE, self._r14_size
+            )
+        else:
+            space.map_user(R14_AREA_BASE, self._r14_size)
+        for base in (RSP_AREA_BASE, RBP_AREA_BASE, RDI_AREA_BASE,
+                     RSI_AREA_BASE):
+            if self.kernel_mode:
+                space.map_kernel_contiguous(base, AREA_SIZE)
+            else:
+                space.map_user(base, AREA_SIZE)
+        space.map_user(MEASUREMENT_AREA_BASE, MEASUREMENT_AREA_SIZE)
+
+    def resize_r14_buffer(self, size: int) -> int:
+        """Reserve a larger physically-contiguous R14 area (kernel only).
+
+        Returns the physical base address.  Used by cache benchmarks
+        that need to cover many L3 sets (Sections III-G, IV-D).
+        """
+        if not self.kernel_mode:
+            raise NanoBenchError(
+                "physically-contiguous memory requires the kernel version"
+            )
+        self.core.address_space.unmap(R14_AREA_BASE, self._r14_size)
+        self._r14_size = size
+        self._r14_physical_base = self.core.address_space.map_kernel_contiguous(
+            R14_AREA_BASE, size
+        )
+        return self._r14_physical_base
+
+    @property
+    def r14_physical_base(self) -> Optional[int]:
+        return self._r14_physical_base
+
+    @property
+    def r14_size(self) -> int:
+        return self._r14_size
+
+    # ------------------------------------------------------------------
+    # Counter plumbing
+    # ------------------------------------------------------------------
+    def _fixed_counter_reads(self, options: NanoBenchOptions) -> List[CounterRead]:
+        reads: List[CounterRead] = []
+        if options.fixed_counters:
+            reads = [
+                CounterRead("Instructions retired", "fixed", 0),
+                CounterRead("Core cycles", "fixed", 1),
+                CounterRead("Reference cycles", "fixed", 2),
+            ]
+        if options.aperf_mperf:
+            if not self.kernel_mode:
+                raise NanoBenchError(
+                    "APERF/MPERF can only be read in kernel space"
+                )
+            reads.append(CounterRead("APERF", "msr", MSR_IA32_APERF))
+            reads.append(CounterRead("MPERF", "msr", MSR_IA32_MPERF))
+        return reads
+
+    @staticmethod
+    def _uncore_msr_index(event: PerfEvent) -> int:
+        # metric looks like "cbox<i>_<suffix>"
+        prefix, _, suffix = event.metric.partition("_")
+        box = int(prefix[4:])
+        which = {"lookups": 0, "misses": 1, "evictions": 2}[suffix]
+        return MSR_UNCORE_CBOX_BASE + 16 * box + which
+
+    def _event_counter_read(self, event: PerfEvent, slot: int) -> CounterRead:
+        if event.uncore:
+            if not self.kernel_mode:
+                raise NanoBenchError(
+                    "uncore counters can only be read in kernel space"
+                )
+            return CounterRead(event.name, "msr", self._uncore_msr_index(event))
+        return CounterRead(event.name, "programmable", slot)
+
+    # ------------------------------------------------------------------
+    # Running benchmarks
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        asm: str = "",
+        asm_init: str = "",
+        *,
+        code: Optional[Program] = None,
+        init: Optional[Program] = None,
+        config: Optional[CounterConfig] = None,
+        events: Sequence[str] = (),
+        **option_overrides,
+    ) -> "OrderedDict[str, float]":
+        """Run a microbenchmark; returns ``{counter name: value}``.
+
+        The benchmark is given as Intel-syntax assembly (``asm`` /
+        ``asm_init``) or as pre-assembled :class:`Program` objects.
+        Performance events come from a :class:`CounterConfig` or a list
+        of event ``names``; the fixed-function counters are always
+        included (unless disabled via options).
+        """
+        started = time.perf_counter()
+        options = (
+            replace(self.options, **option_overrides)
+            if option_overrides else self.options
+        )
+        options.validate()
+
+        benchmark = code if code is not None else assemble(asm)
+        init_program = init if init is not None else assemble(asm_init)
+
+        perf_events = self._resolve_events(config, events)
+        groups = (
+            split_into_groups(perf_events, self.core.pmu.n_programmable)
+            if perf_events else [()]
+        )
+
+        results: "OrderedDict[str, float]" = OrderedDict()
+        report = ExecutionReport(counter_groups=len(groups))
+        cycles_before = self.core.current_cycle
+        for group in groups:
+            group_result, runs = self._run_group(
+                benchmark, init_program, group, options
+            )
+            report.program_runs += runs
+            for name, value in group_result.items():
+                if name not in results:
+                    results[name] = value
+        report.simulated_cycles = self.core.current_cycle - cycles_before
+        report.host_seconds = time.perf_counter() - started
+        self.last_report = report
+        return results
+
+    def _resolve_events(
+        self, config: Optional[CounterConfig], events: Sequence[str]
+    ) -> Tuple[PerfEvent, ...]:
+        if config is not None and events:
+            raise NanoBenchError("pass either config or events, not both")
+        if config is not None:
+            return config.events
+        if not events:
+            return ()
+        catalog = event_catalog(self.core.spec.family,
+                                self.core.spec.n_cboxes)
+        resolved = []
+        for name in events:
+            if name not in catalog:
+                raise NanoBenchError("unknown performance event %r" % (name,))
+            resolved.append(catalog[name])
+        return tuple(resolved)
+
+    # ------------------------------------------------------------------
+    def _run_group(
+        self,
+        benchmark: Program,
+        init_program: Program,
+        group: Tuple[PerfEvent, ...],
+        options: NanoBenchOptions,
+    ) -> Tuple["OrderedDict[str, float]", int]:
+        """Measure one counter-configuration group (both code versions)."""
+        pmu = self.core.pmu
+        counter_reads = self._fixed_counter_reads(options)
+        slot = 0
+        for event in group:
+            read = self._event_counter_read(event, slot)
+            if read.kind == "programmable":
+                pmu.program(slot, event)
+                slot += 1
+            counter_reads.append(read)
+        for unused in range(slot, pmu.n_programmable):
+            pmu.program(unused, None)
+
+        use_basic = options.basic_mode or bool(benchmark.labels)
+        if use_basic:
+            unroll_pair = (0, options.unroll_count)
+        else:
+            unroll_pair = (options.unroll_count, 2 * options.unroll_count)
+
+        raw_aggregates = []
+        total_runs = 0
+        self.last_raw_series = {}
+        for local_unroll in unroll_pair:
+            generated = generate(
+                benchmark, init_program, counter_reads, options, local_unroll
+            )
+            series = run_measurements(
+                lambda: self._run_generated_once(generated, options),
+                n_measurements=options.n_measurements,
+                warm_up_count=options.warm_up_count
+                + (options.initial_warm_up_count if local_unroll == unroll_pair[0] else 0),
+            )
+            total_runs += options.n_measurements + options.warm_up_count
+            self.last_raw_series[local_unroll] = series.values
+            raw_aggregates.append(series.aggregate(options.aggregate))
+
+        repetitions = max(1, options.loop_count) * options.unroll_count
+        result: "OrderedDict[str, float]" = OrderedDict()
+        for read in counter_reads:
+            low = raw_aggregates[0].get(read.name, 0.0)
+            high = raw_aggregates[1].get(read.name, 0.0)
+            result[read.name] = (high - low) / repetitions
+        return result, total_runs
+
+    # ------------------------------------------------------------------
+    def _run_generated_once(
+        self, generated: GeneratedCode, options: NanoBenchOptions
+    ) -> Dict[str, float]:
+        """One execution of the generated code (one Algorithm 2 iteration)."""
+        core = self.core
+        snapshot = core.regs.snapshot()
+        for register, value in SCRATCH_REGISTERS.items():
+            core.regs.write(register, value)
+        if self.kernel_mode:
+            core.disable_interrupts()
+        try:
+            core.run_program(generated.program, kernel_mode=self.kernel_mode)
+        finally:
+            if self.kernel_mode:
+                core.enable_interrupts()
+            core.regs.restore(snapshot)
+            core.reset_timing()
+        return self._collect_raw_values(generated)
+
+    def _collect_raw_values(self, generated: GeneratedCode) -> Dict[str, float]:
+        memory = self.core.main_memory
+        translate = self.core.address_space.translate
+        values: Dict[str, float] = {}
+        if generated.no_mem:
+            for counter, address in zip(generated.counters,
+                                        generated.nomem_addresses):
+                raw = memory.read(translate(address), 8)
+                values[counter.name] = float(_to_signed64(raw))
+        else:
+            for counter, a1, a2 in zip(generated.counters,
+                                       generated.m1_addresses,
+                                       generated.m2_addresses):
+                m1 = memory.read(translate(a1), 8)
+                m2 = memory.read(translate(a2), 8)
+                values[counter.name] = float(m2 - m1)
+        return values
+
+
+def _to_signed64(value: int) -> int:
+    return value - (1 << 64) if value >= (1 << 63) else value

@@ -1,0 +1,74 @@
+"""nanoBench run parameters (the command-line options of Section III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import NanoBenchError
+
+AGGREGATES = ("min", "med", "avg")
+SERIALIZERS = ("lfence", "cpuid")
+
+
+@dataclass
+class NanoBenchOptions:
+    """Parameters controlling code generation and measurement.
+
+    Mirrors the options of ``nanoBench.sh`` / ``kernel-nanoBench.sh``:
+
+    * ``unroll_count`` / ``loop_count`` — Section III-F: how often the
+      benchmark code is replicated, and how often the copies loop.
+    * ``n_measurements`` — how often the generated code is run.
+    * ``warm_up_count`` — runs excluded from the result (Section III-H).
+    * ``initial_warm_up_count`` — extra warm-up before the very first
+      measurement series (e.g. AVX warm-up).
+    * ``aggregate`` — ``min`` / ``med`` / ``avg`` (arithmetic mean
+      excluding the top and bottom 20 %), Section III-C.
+    * ``basic_mode`` — use a localUnrollCount of 0 instead of
+      2 x unroll_count for the overhead-cancelling second run.
+    * ``no_mem`` — keep counter values in registers (Section III-I).
+    * ``serializer`` — LFENCE (default, Section IV-A1) or CPUID.
+    * ``fixed_counters`` — measure the three fixed-function counters.
+    * ``aperf_mperf`` — also read APERF/MPERF (kernel mode only).
+    * ``drain_frontend`` — reserved for ablation studies.
+    """
+
+    unroll_count: int = 100
+    loop_count: int = 0
+    n_measurements: int = 10
+    warm_up_count: int = 0
+    initial_warm_up_count: int = 0
+    aggregate: str = "avg"
+    basic_mode: bool = False
+    no_mem: bool = False
+    serializer: str = "lfence"
+    fixed_counters: bool = True
+    aperf_mperf: bool = False
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.unroll_count < 1:
+            raise NanoBenchError("unroll_count must be >= 1")
+        if self.loop_count < 0:
+            raise NanoBenchError("loop_count must be >= 0")
+        if self.n_measurements < 1:
+            raise NanoBenchError("n_measurements must be >= 1")
+        if self.warm_up_count < 0 or self.initial_warm_up_count < 0:
+            raise NanoBenchError("warm-up counts must be >= 0")
+        if self.aggregate not in AGGREGATES:
+            raise NanoBenchError(
+                "aggregate must be one of %s" % (AGGREGATES,)
+            )
+        if self.serializer not in SERIALIZERS:
+            raise NanoBenchError(
+                "serializer must be one of %s" % (SERIALIZERS,)
+            )
+
+    @property
+    def repetitions(self) -> int:
+        """Dynamic executions of the benchmark code per run (Alg. 1 l.12)."""
+        return max(1, self.loop_count) * self.unroll_count

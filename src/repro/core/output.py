@@ -1,0 +1,33 @@
+"""Result formatting in the paper's output style (Section III-A)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def format_results(results: Mapping[str, float], precision: int = 2) -> str:
+    """Render results like the paper's example::
+
+        Instructions retired: 1.00
+        Core cycles: 4.00
+        ...
+    """
+    lines = []
+    for name, value in results.items():
+        lines.append("%s: %.*f" % (name, precision, value))
+    return "\n".join(lines)
+
+
+def format_table(rows, headers) -> str:
+    """Simple aligned text table used by the benchmark harnesses."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Benchmark execution and aggregation (Algorithm 2 / Section III-C).
+
+``run(code)`` executes the generated code ``warm_up_count +
+n_measurements`` times, drops the warm-up runs, and applies the
+aggregate function — minimum, median, or the arithmetic mean excluding
+the top and bottom 20 % of the values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import NanoBenchError
+
+
+class AggregateFunction(str, Enum):
+    """The three aggregates of Section III-C."""
+
+    MINIMUM = "min"
+    MEDIAN = "med"
+    TRIMMED_MEAN = "avg"
+
+
+def aggregate_values(values: Sequence[float], how: str) -> float:
+    """Apply one of the nanoBench aggregate functions."""
+    if not values:
+        raise NanoBenchError("no measurement values to aggregate")
+    ordered = sorted(values)
+    if how in ("min", AggregateFunction.MINIMUM):
+        return ordered[0]
+    if how in ("med", AggregateFunction.MEDIAN):
+        n = len(ordered)
+        middle = n // 2
+        if n % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+    if how in ("avg", AggregateFunction.TRIMMED_MEAN):
+        n = len(ordered)
+        cut = int(n * 0.2)
+        trimmed = ordered[cut:n - cut] if n - 2 * cut >= 1 else ordered
+        return sum(trimmed) / len(trimmed)
+    raise NanoBenchError("unknown aggregate function: %r" % (how,))
+
+
+@dataclass
+class MeasurementSeries:
+    """Raw per-run counter values for one generated-code version."""
+
+    #: ``values[counter_name]`` is one float per (non-warm-up) run.
+    values: Dict[str, List[float]]
+    n_runs: int
+
+    def aggregate(self, how: str) -> Dict[str, float]:
+        return {
+            name: aggregate_values(series, how)
+            for name, series in self.values.items()
+        }
+
+
+def run_measurements(
+    run_once: Callable[[], Dict[str, float]],
+    *,
+    n_measurements: int,
+    warm_up_count: int = 0,
+) -> MeasurementSeries:
+    """Algorithm 2: run, discard warm-ups, collect the rest.
+
+    ``run_once`` executes the generated code once and returns the raw
+    ``m2 - m1`` counter values of that run.
+    """
+    collected: Dict[str, List[float]] = {}
+    total = warm_up_count + n_measurements
+    for i in range(-warm_up_count, n_measurements):
+        measurement = run_once()
+        if i < 0:
+            continue  # ignore warm-up runs
+        for name, value in measurement.items():
+            collected.setdefault(name, []).append(value)
+    return MeasurementSeries(values=collected, n_runs=n_measurements)

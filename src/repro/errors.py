@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when Intel-syntax assembly text cannot be parsed."""
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to machine code."""
+
+
+class DecodingError(ReproError):
+    """Raised when a byte sequence cannot be decoded to an instruction."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the functional simulator cannot execute an instruction."""
+
+
+class PrivilegeError(ExecutionError):
+    """Raised when a privileged operation is attempted in user mode.
+
+    Mirrors the #GP(0) fault a real CPU raises for e.g. RDMSR at CPL > 0.
+    """
+
+
+class MemoryError_(ExecutionError):
+    """Raised on invalid simulated memory accesses (unmapped pages)."""
+
+
+class TimingModelError(ReproError):
+    """Raised when no timing information is available for an instruction."""
+
+
+class CounterError(ReproError):
+    """Raised on invalid performance-counter configuration or access."""
+
+
+class ConfigError(ReproError):
+    """Raised when a performance-counter config file is malformed."""
+
+
+class NanoBenchError(ReproError):
+    """Raised on invalid nanoBench parameters or benchmark failures."""
+
+
+class AllocationError(ReproError):
+    """Raised when the kernel allocator cannot satisfy a request.
+
+    The simulated greedy kmalloc allocator raises this when it cannot find
+    a physically-contiguous region (the real tool proposes a reboot).
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised by the case-study tools when an inference cannot proceed."""

@@ -1,0 +1,5 @@
+"""Simulated kernel module and its virtual-file interface."""
+
+from .module import PROC_PATH, SYS_PREFIX, KernelModule
+
+__all__ = ["KernelModule", "PROC_PATH", "SYS_PREFIX"]

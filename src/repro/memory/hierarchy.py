@@ -1,0 +1,251 @@
+"""The multi-level memory hierarchy (L1 / L2 / sliced L3 / DRAM).
+
+Models the structure the cache case study (Section VI) targets:
+
+* inclusive fills — a demand miss installs the line at every level;
+* back-invalidation — an L3 eviction removes the line from L1/L2, as on
+  real inclusive Intel client parts;
+* a next-line hardware prefetcher that can be disabled through the
+  model-specific register bit (Section IV-A2 recommends disabling
+  prefetchers for cache microbenchmarks — the tools here genuinely need
+  to, which the prefetcher ablation benchmark demonstrates);
+* per-slice C-Box statistics on the L3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cache import Cache, CacheGeometry
+from .replacement import ReplacementPolicy
+from .slices import SliceHash
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access."""
+
+    level: int  # 1, 2, 3 = cache level that hit; 4 = DRAM
+    latency: int  # cycles
+    l3_slice: Optional[int] = None  # slice looked up in the L3 (if any)
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level == 1
+
+    @property
+    def l2_hit(self) -> bool:
+        return self.level == 2
+
+    @property
+    def l3_hit(self) -> bool:
+        return self.level == 3
+
+
+@dataclass
+class DemandCounters:
+    """Demand hit/miss totals per level (feeds MEM_LOAD_RETIRED.*)."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+
+    def record(self, result: AccessResult) -> None:
+        if result.level == 1:
+            self.l1_hits += 1
+            return
+        self.l1_misses += 1
+        if result.level == 2:
+            self.l2_hits += 1
+            return
+        self.l2_misses += 1
+        if result.level == 3:
+            self.l3_hits += 1
+        else:
+            self.l3_misses += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "l1_hits": self.l1_hits, "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits, "l2_misses": self.l2_misses,
+            "l3_hits": self.l3_hits, "l3_misses": self.l3_misses,
+        }
+
+
+class NextLinePrefetcher:
+    """Hardware prefetcher model: next-line streamer + stride detector.
+
+    Two components, mirroring the prefetchers Intel's MSR 0x1A4 bits
+    control:
+
+    * a *streamer*: after two sequential demand accesses within a 4 kB
+      region, the following line is prefetched;
+    * a *stride prefetcher*: a repeated constant address delta (up to
+      1 MB) between consecutive demand accesses prefetches one stride
+      ahead.  This is the component that corrupts set-targeted cache
+      microbenchmarks — a constant-stride walk over same-set blocks
+      pulls the *next* block of the set in early — and therefore the
+      reason the cache tools must disable prefetching (Section IV-A2)
+      and cannot run on AMD parts (Section VI-D).
+    """
+
+    MAX_STRIDE = 1 << 20
+
+    def __init__(self) -> None:
+        self._last_block_per_page: Dict[int, int] = {}
+        self._last_address: Optional[int] = None
+        self._last_stride: Optional[int] = None
+
+    def observe(self, block_address: int, line_size: int) -> List[int]:
+        """Record a demand access; return block addresses to prefetch."""
+        prefetches: List[int] = []
+        # Streamer: sequential lines within a page.
+        page = block_address >> 12
+        previous = self._last_block_per_page.get(page)
+        self._last_block_per_page[page] = block_address
+        if previous is not None and block_address == previous + line_size:
+            prefetches.append(block_address + line_size)
+        # Stride detector: the same delta twice in a row.
+        if self._last_address is not None:
+            stride = block_address - self._last_address
+            if (
+                stride
+                and stride == self._last_stride
+                and abs(stride) <= self.MAX_STRIDE
+            ):
+                target = block_address + stride
+                if target >= 0 and target not in prefetches:
+                    prefetches.append(target)
+            self._last_stride = stride
+        self._last_address = block_address
+        return prefetches
+
+    def reset(self) -> None:
+        self._last_block_per_page.clear()
+        self._last_address = None
+        self._last_stride = None
+
+
+class MemoryHierarchy:
+    """L1 + L2 + optional sliced L3 + DRAM, with inclusive fills."""
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        l3: Optional[Cache] = None,
+        *,
+        l1_latency: int = 4,
+        l2_latency: int = 12,
+        l3_latency: int = 42,
+        memory_latency: int = 200,
+        prefetcher_enabled: bool = True,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.l3 = l3
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.l3_latency = l3_latency
+        self.memory_latency = memory_latency
+        self.prefetcher_enabled = prefetcher_enabled
+        self.prefetcher = NextLinePrefetcher()
+        self.demand = DemandCounters()
+        self._line_size = l1.geometry.line_size
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[Cache]:
+        caches = [self.l1, self.l2]
+        if self.l3 is not None:
+            caches.append(self.l3)
+        return caches
+
+    def _access_level(self, cache: Cache, address: int) -> Tuple[bool, Optional[int]]:
+        """Access one level; return (hit, evicted block address)."""
+        slice_id, set_index, tag = cache.locate(address)
+        stats = cache.slice_stats[slice_id]
+        stats.lookups += 1
+        hit, evicted_tag = cache.set_state(slice_id, set_index).access(tag)
+        evicted_address: Optional[int] = None
+        if hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+            if evicted_tag is not None:
+                stats.evictions += 1
+                geo = cache.geometry
+                block = (evicted_tag << geo.index_bits) | set_index
+                evicted_address = block << geo.offset_bits
+        return hit, evicted_address
+
+    def _fill_chain(self, address: int, miss_below: int) -> None:
+        """Install *address* into levels above the one that hit."""
+        # (handled inline by access(); kept for symmetry)
+
+    def access(self, address: int, *, is_write: bool = False,
+               is_prefetch: bool = False) -> AccessResult:
+        """Demand (or prefetch) access to physical *address*."""
+        line = address - address % self._line_size
+        l3_slice = None
+        if self.l3 is not None:
+            l3_slice = self.l3.locate(line)[0]
+        hit_l1, _ = self._access_level(self.l1, line)
+        if hit_l1:
+            result = AccessResult(1, self.l1_latency, l3_slice=None)
+        else:
+            hit_l2, _ = self._access_level(self.l2, line)
+            if hit_l2:
+                result = AccessResult(2, self.l2_latency, l3_slice=None)
+            elif self.l3 is not None:
+                hit_l3, evicted = self._access_level(self.l3, line)
+                if not hit_l3 and evicted is not None:
+                    # Inclusive L3: back-invalidate the victim everywhere.
+                    self.l1.invalidate_line(evicted)
+                    self.l2.invalidate_line(evicted)
+                level = 3 if hit_l3 else 4
+                latency = self.l3_latency if hit_l3 else self.memory_latency
+                result = AccessResult(level, latency, l3_slice=l3_slice)
+            else:
+                result = AccessResult(4, self.memory_latency, l3_slice=None)
+        if not is_prefetch:
+            self.demand.record(result)
+            if self.prefetcher_enabled:
+                for prefetch_line in self.prefetcher.observe(line, self._line_size):
+                    self.access(prefetch_line, is_prefetch=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def wbinvd(self) -> None:
+        """Flush and invalidate all caches (the WBINVD instruction)."""
+        for cache in self.levels:
+            cache.invalidate_all()
+        self.prefetcher.reset()
+
+    def clflush(self, address: int) -> None:
+        """Flush one line from the whole hierarchy (CLFLUSH)."""
+        line = address - address % self._line_size
+        for cache in self.levels:
+            cache.invalidate_line(line)
+
+    def prefetch_into(self, address: int) -> None:
+        """Software prefetch (PREFETCHTx): fill without demand counting."""
+        self.access(address, is_prefetch=True)
+
+    def reset_stats(self) -> None:
+        for cache in self.levels:
+            cache.reset_stats()
+        self.demand = DemandCounters()
+
+    def probe_level(self, address: int) -> int:
+        """Level the line would hit at, without disturbing state (0=none)."""
+        line = address - address % self._line_size
+        for level, cache in enumerate(self.levels, start=1):
+            if cache.probe(line):
+                return level
+        return 0

@@ -1,0 +1,45 @@
+"""Performance counters: events, PMU model, configuration files."""
+
+from .config import (
+    CounterConfig,
+    default_config,
+    example_skylake_config,
+    format_config,
+    parse_config,
+    parse_config_file,
+    split_into_groups,
+)
+from .counters import (
+    FIXED_CORE_CYCLES,
+    FIXED_INSTRUCTIONS,
+    FIXED_REF_CYCLES,
+    MSR_IA32_APERF,
+    MSR_IA32_MPERF,
+    MSR_MISC_FEATURE_CONTROL,
+    MSR_UNCORE_CBOX_BASE,
+    MetricStore,
+    PerformanceMonitoringUnit,
+)
+from .events import PerfEvent, event_catalog, find_event
+
+__all__ = [
+    "CounterConfig",
+    "FIXED_CORE_CYCLES",
+    "FIXED_INSTRUCTIONS",
+    "FIXED_REF_CYCLES",
+    "MSR_IA32_APERF",
+    "MSR_IA32_MPERF",
+    "MSR_MISC_FEATURE_CONTROL",
+    "MSR_UNCORE_CBOX_BASE",
+    "MetricStore",
+    "PerfEvent",
+    "PerformanceMonitoringUnit",
+    "default_config",
+    "event_catalog",
+    "example_skylake_config",
+    "find_event",
+    "format_config",
+    "parse_config",
+    "parse_config_file",
+    "split_into_groups",
+]

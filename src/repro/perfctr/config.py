@@ -1,0 +1,145 @@
+"""nanoBench counter-configuration files (Section III-J).
+
+"The performance events to be measured are specified in a configuration
+file ... the events are not hard-coded, which makes it easy to adapt
+nanoBench to future CPUs, as only a new configuration file has to be
+created."
+
+File syntax (one event per line, ``#`` comments)::
+
+    # cfg_Skylake.txt
+    0E.01 UOPS_ISSUED.ANY
+    A1.01 UOPS_DISPATCHED_PORT.PORT_0
+    D1.01 MEM_LOAD_RETIRED.L1_HIT
+
+The code may be omitted when the name is known to the catalogue.  When
+a configuration lists more events than there are programmable counters,
+nanoBench runs the benchmark multiple times with different counter
+assignments — :func:`split_into_groups` computes that partition.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+from .events import PerfEvent, event_catalog, find_event
+
+_LINE_RE = re.compile(
+    r"^(?:(?P<code>[0-9A-Fa-f]{2}\.[0-9A-Fa-f]{2})\s+)?(?P<name>[A-Za-z0-9_.]+)$"
+)
+
+
+@dataclass(frozen=True)
+class CounterConfig:
+    """A parsed configuration: the ordered list of events to measure."""
+
+    events: Tuple[PerfEvent, ...]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(event.name for event in self.events)
+
+    def core_events(self) -> Tuple[PerfEvent, ...]:
+        return tuple(e for e in self.events if not e.uncore)
+
+    def uncore_events(self) -> Tuple[PerfEvent, ...]:
+        return tuple(e for e in self.events if e.uncore)
+
+
+def parse_config(text: str, catalog: Dict[str, PerfEvent]) -> CounterConfig:
+    """Parse configuration *text* against an event *catalog*."""
+    events: List[PerfEvent] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ConfigError(
+                "line %d: cannot parse %r" % (line_number, raw.strip())
+            )
+        name = match.group("name")
+        try:
+            event = find_event(catalog, name)
+        except KeyError:
+            code = match.group("code")
+            if code is None:
+                raise ConfigError(
+                    "line %d: unknown event %r" % (line_number, name)
+                )
+            try:
+                event = find_event(catalog, code)
+            except KeyError:
+                raise ConfigError(
+                    "line %d: unknown event %r (code %s)"
+                    % (line_number, name, code)
+                )
+        if event not in events:
+            events.append(event)
+    if not events:
+        raise ConfigError("configuration contains no events")
+    return CounterConfig(tuple(events))
+
+
+def parse_config_file(path: str, catalog: Dict[str, PerfEvent]) -> CounterConfig:
+    with open(path) as handle:
+        return parse_config(handle.read(), catalog)
+
+
+def format_config(config: CounterConfig) -> str:
+    """Render a configuration back to file syntax."""
+    return "\n".join("%s %s" % (e.code, e.name) for e in config.events) + "\n"
+
+
+def split_into_groups(events: Sequence[PerfEvent],
+                      n_programmable: int) -> List[Tuple[PerfEvent, ...]]:
+    """Partition core events into counter-sized measurement groups.
+
+    Uncore events do not occupy core programmable counters and are
+    appended to the first group.
+    """
+    if n_programmable < 1:
+        raise ConfigError("need at least one programmable counter")
+    core = [e for e in events if not e.uncore]
+    uncore = [e for e in events if e.uncore]
+    groups: List[Tuple[PerfEvent, ...]] = []
+    for start in range(0, len(core), n_programmable):
+        groups.append(tuple(core[start:start + n_programmable]))
+    if uncore:
+        if groups:
+            groups[0] = groups[0] + tuple(uncore)
+        else:
+            groups.append(tuple(uncore))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Shipped default configurations (Section III-J: "we provide
+# configuration files with all events for all recent Intel
+# microarchitectures, and the AMD Zen microarchitecture").
+# ----------------------------------------------------------------------
+
+def default_config(family: str, n_cboxes: int = 0,
+                   include_uncore: bool = False) -> CounterConfig:
+    """The full shipped configuration for a family."""
+    catalog = event_catalog(family, n_cboxes)
+    events = [e for e in catalog.values() if include_uncore or not e.uncore]
+    return CounterConfig(tuple(events))
+
+
+def example_skylake_config() -> CounterConfig:
+    """The events of the paper's Section III-A example output."""
+    catalog = event_catalog("SKL")
+    names = [
+        "UOPS_ISSUED.ANY",
+        "UOPS_DISPATCHED_PORT.PORT_0",
+        "UOPS_DISPATCHED_PORT.PORT_1",
+        "UOPS_DISPATCHED_PORT.PORT_2",
+        "UOPS_DISPATCHED_PORT.PORT_3",
+        "MEM_LOAD_RETIRED.L1_HIT",
+        "MEM_LOAD_RETIRED.L1_MISS",
+    ]
+    return CounterConfig(tuple(catalog[name] for name in names))

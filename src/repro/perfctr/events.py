@@ -1,0 +1,133 @@
+"""Performance-event catalogue.
+
+Modern x86 cores expose hundreds of countable events (Section II); the
+simulator exposes the subset its machinery can actually produce: µop
+issue/dispatch per port, memory-hierarchy hit/miss levels, branches and
+mispredicts, plus per-C-Box uncore lookup/miss events on the L3.
+
+Every event maps to an internal *metric* key maintained by the
+simulated core; programmable counters sample those metrics.  Event
+select / umask codes follow the Intel ``EvtSel.Umask`` convention so
+that nanoBench-style config files round-trip (Section III-J).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class PerfEvent:
+    """One countable performance event."""
+
+    name: str
+    evtsel: int
+    umask: int
+    metric: str
+    uncore: bool = False
+    description: str = ""
+
+    @property
+    def code(self) -> str:
+        """nanoBench config-file code, e.g. ``"A1.01"``."""
+        return "%02X.%02X" % (self.evtsel, self.umask)
+
+
+def _core_events(n_ports: int, port_names: Tuple[str, ...],
+                 load_retired_prefix: str) -> List[PerfEvent]:
+    events = [
+        PerfEvent("UOPS_ISSUED.ANY", 0x0E, 0x01, "uops_issued",
+                  description="µops issued by the rename stage"),
+        PerfEvent("BR_INST_RETIRED.ALL_BRANCHES", 0xC4, 0x00, "branches",
+                  description="retired branch instructions"),
+        PerfEvent("BR_MISP_RETIRED.ALL_BRANCHES", 0xC5, 0x00,
+                  "branch_mispredicts",
+                  description="retired mispredicted branches"),
+        PerfEvent("MEM_INST_RETIRED.ALL_LOADS", 0xD0, 0x81, "mem_loads",
+                  description="retired load µops"),
+        PerfEvent("MEM_INST_RETIRED.ALL_STORES", 0xD0, 0x82, "mem_stores",
+                  description="retired store µops"),
+        PerfEvent("DTLB_LOAD_MISSES.ANY", 0x08, 0x81, "dtlb_load_misses",
+                  description="first-level load dTLB misses"),
+        PerfEvent("DTLB_LOAD_MISSES.STLB_HIT", 0x08, 0x60,
+                  "dtlb_load_stlb_hits",
+                  description="load dTLB misses satisfied by the STLB"),
+        PerfEvent("DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", 0x08, 0x01,
+                  "dtlb_load_walks",
+                  description="load dTLB misses that walked the page "
+                              "tables"),
+        PerfEvent("DTLB_STORE_MISSES.MISS_CAUSES_A_WALK", 0x49, 0x01,
+                  "dtlb_store_walks",
+                  description="store dTLB misses that walked the page "
+                              "tables"),
+        PerfEvent("%s.L1_HIT" % load_retired_prefix, 0xD1, 0x01, "l1_hit"),
+        PerfEvent("%s.L1_MISS" % load_retired_prefix, 0xD1, 0x08, "l1_miss"),
+        PerfEvent("%s.L2_HIT" % load_retired_prefix, 0xD1, 0x02, "l2_hit"),
+        PerfEvent("%s.L2_MISS" % load_retired_prefix, 0xD1, 0x10, "l2_miss"),
+        PerfEvent("%s.L3_HIT" % load_retired_prefix, 0xD1, 0x04, "l3_hit"),
+        PerfEvent("%s.L3_MISS" % load_retired_prefix, 0xD1, 0x20, "l3_miss"),
+    ]
+    for i, port in enumerate(port_names):
+        events.append(PerfEvent(
+            "UOPS_DISPATCHED_PORT.PORT_%s" % port, 0xA1, 1 << min(i, 7),
+            "uops_port_%s" % port,
+            description="µops dispatched to port %s" % port,
+        ))
+    return events
+
+
+def _uncore_events(n_cboxes: int) -> List[PerfEvent]:
+    events = []
+    for box in range(n_cboxes):
+        events.append(PerfEvent(
+            "CBOX%d_LLC_LOOKUP.ANY" % box, 0x34, 0x11,
+            "cbox%d_lookups" % box, uncore=True,
+            description="L3 lookups in C-Box %d" % box,
+        ))
+        events.append(PerfEvent(
+            "CBOX%d_LLC_VICTIMS.ANY" % box, 0x37, 0x0F,
+            "cbox%d_evictions" % box, uncore=True,
+            description="L3 victims in C-Box %d" % box,
+        ))
+        events.append(PerfEvent(
+            "CBOX%d_LLC_MISS.ANY" % box, 0x35, 0x11,
+            "cbox%d_misses" % box, uncore=True,
+            description="L3 misses in C-Box %d" % box,
+        ))
+    return events
+
+
+#: Family -> (port names, MEM_LOAD event prefix).
+_FAMILY_PORTS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "SKL": (("0", "1", "2", "3", "4", "5", "6", "7"), "MEM_LOAD_RETIRED"),
+    "HSW": (("0", "1", "2", "3", "4", "5", "6", "7"),
+            "MEM_LOAD_UOPS_RETIRED"),
+    "SNB": (("0", "1", "2", "3", "4", "5"), "MEM_LOAD_UOPS_RETIRED"),
+    "NHM": (("0", "1", "2", "3", "4", "5"), "MEM_LOAD_RETIRED"),
+    "ZEN": (("ALU0", "ALU1", "ALU2", "ALU3", "AGU0", "AGU1",
+             "FP0", "FP1", "FP2", "FP3"), "LS_DMND_FILLS"),
+}
+
+
+def event_catalog(family: str, n_cboxes: int = 0) -> Dict[str, PerfEvent]:
+    """All known events for a port-layout family, keyed by name."""
+    try:
+        ports, prefix = _FAMILY_PORTS[family]
+    except KeyError:
+        raise KeyError("unknown family %r" % (family,))
+    events = _core_events(len(ports), ports, prefix)
+    events.extend(_uncore_events(n_cboxes))
+    return {event.name: event for event in events}
+
+
+def find_event(catalog: Dict[str, PerfEvent], name_or_code: str) -> PerfEvent:
+    """Resolve an event by name or ``EvtSel.Umask`` code string."""
+    event = catalog.get(name_or_code.strip())
+    if event is not None:
+        return event
+    wanted = name_or_code.strip().upper()
+    for event in catalog.values():
+        if event.code == wanted:
+            return event
+    raise KeyError("unknown performance event: %r" % (name_or_code,))

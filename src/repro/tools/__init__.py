@@ -1,0 +1,6 @@
+"""Case-study tools: instruction characterization, cache analysis, and
+the Section VIII future-work extensions (TLB and branch predictor)."""
+
+from . import branch, cache, instr, tlb
+
+__all__ = ["branch", "cache", "instr", "tlb"]

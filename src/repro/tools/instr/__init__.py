@@ -1,0 +1,35 @@
+"""Case study I: instruction latency / throughput / port usage."""
+
+from .characterize import (
+    characterize_corpus,
+    compare_uarches,
+    profiles_to_table,
+    profiles_to_xml,
+)
+from .corpus import InstructionVariant, build_corpus, corpus_for_family
+from .measure import (
+    InstructionProfile,
+    characterize_variant,
+    format_port_usage,
+    measure_latency,
+    measure_port_usage,
+    measure_throughput,
+    measure_uops,
+)
+
+__all__ = [
+    "InstructionProfile",
+    "InstructionVariant",
+    "build_corpus",
+    "characterize_corpus",
+    "characterize_variant",
+    "compare_uarches",
+    "corpus_for_family",
+    "format_port_usage",
+    "measure_latency",
+    "measure_port_usage",
+    "measure_throughput",
+    "measure_uops",
+    "profiles_to_table",
+    "profiles_to_xml",
+]

@@ -1,0 +1,90 @@
+"""Full-corpus characterization sweeps (the uops.info pipeline).
+
+Sweeps the instruction corpus over one or more simulated
+microarchitectures and renders the results as the interactive-table
+rows of www.uops.info (Section V) or as machine-readable XML.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+from xml.etree import ElementTree
+
+from ...core.nanobench import NanoBench
+from ...core.output import format_table
+from .corpus import InstructionVariant, corpus_for_family
+from .measure import InstructionProfile, characterize_variant
+
+
+def characterize_corpus(
+    nb: NanoBench,
+    variants: Optional[Sequence[InstructionVariant]] = None,
+) -> List[InstructionProfile]:
+    """Characterize all (or the given) variants on one machine."""
+    if variants is None:
+        variants = corpus_for_family(nb.core.spec.family)
+    return [characterize_variant(nb, variant) for variant in variants]
+
+
+def profiles_to_table(profiles: Sequence[InstructionProfile]) -> str:
+    """Render profiles as an aligned text table (the HTML-table stand-in)."""
+    rows = []
+    for profile in profiles:
+        if profile.error is not None:
+            rows.append([profile.name, "-", "-", "-", profile.error])
+            continue
+        rows.append([
+            profile.name,
+            "%.2f" % profile.latency,
+            "%.2f" % profile.throughput,
+            "%.2f" % profile.uops,
+            profile.port_string,
+        ])
+    return format_table(
+        rows, headers=["Instruction", "Lat", "TP", "Uops", "Ports"]
+    )
+
+
+def profiles_to_xml(profiles: Sequence[InstructionProfile],
+                    uarch: str) -> str:
+    """Render profiles as a uops.info-style XML document."""
+    root = ElementTree.Element("root")
+    arch = ElementTree.SubElement(root, "architecture", name=uarch)
+    for profile in profiles:
+        instr = ElementTree.SubElement(
+            arch, "instruction", string=profile.name
+        )
+        if profile.error is not None:
+            instr.set("error", profile.error)
+            continue
+        measurement = ElementTree.SubElement(
+            instr, "measurement",
+            latency="%.2f" % profile.latency,
+            throughput="%.2f" % profile.throughput,
+            uops="%.2f" % profile.uops,
+            ports=profile.port_string,
+        )
+        for port, value in sorted(profile.ports.items()):
+            ElementTree.SubElement(
+                measurement, "port", name=port, usage="%.3f" % value
+            )
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def compare_uarches(
+    uarch_names: Sequence[str],
+    variants: Optional[Sequence[InstructionVariant]] = None,
+    seed: int = 0,
+) -> Dict[str, List[InstructionProfile]]:
+    """Characterize the corpus on several microarchitectures."""
+    results: Dict[str, List[InstructionProfile]] = {}
+    for name in uarch_names:
+        nb = NanoBench.kernel(uarch=name, seed=seed)
+        family_variants = variants
+        if family_variants is not None:
+            family_variants = [
+                v for v in family_variants
+                if v.supported_on(nb.core.spec.family)
+            ]
+        results[name] = characterize_corpus(nb, family_variants)
+    return results

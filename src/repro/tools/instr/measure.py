@@ -1,0 +1,144 @@
+"""Latency / throughput / port-usage measurement (case study I).
+
+"Of particular use is nanoBench's ability to benchmark privileged
+instructions, the ability to unroll the code multiple times, and the
+support for microbenchmarks to have an initialization sequence that is
+not part of the performance measurement." (Section V.)
+
+* :func:`measure_latency` — runs the variant's dependency chain; the
+  cycles per link (minus helper latency) is the latency of the chained
+  operand pair.
+* :func:`measure_throughput` — runs independent instances; cycles per
+  instruction is the reciprocal-throughput.
+* :func:`measure_port_usage` — reads the UOPS_DISPATCHED_PORT events,
+  multiplexing over counter groups automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...core.nanobench import NanoBench
+from ...errors import NanoBenchError, TimingModelError
+from .corpus import InstructionVariant
+
+#: Measurement parameters tuned for the deterministic kernel variant.
+_LATENCY_KW = dict(unroll_count=50, n_measurements=3, aggregate="med")
+_THROUGHPUT_KW = dict(unroll_count=25, n_measurements=3, aggregate="med")
+
+
+def measure_latency(nb: NanoBench, variant: InstructionVariant) -> float:
+    """Latency in cycles of the variant's chained operand pair.
+
+    ``latency_asm`` is one chain link (possibly with helper
+    instructions); nanoBench reports cycles per link, from which the
+    helper latency (``latency_adjust``) is subtracted and the result
+    divided by ``latency_divisor`` (for e.g. two-move round trips).
+    """
+    result = nb.run(
+        asm=variant.latency_asm, asm_init=variant.init_asm, **_LATENCY_KW
+    )
+    per_link = result["Core cycles"]
+    return max(0.0, per_link - variant.latency_adjust) / variant.latency_divisor
+
+
+def measure_throughput(nb: NanoBench, variant: InstructionVariant) -> float:
+    """Reciprocal throughput (cycles per instruction, steady state)."""
+    result = nb.run(
+        asm=variant.throughput_asm, asm_init=variant.init_asm,
+        **_THROUGHPUT_KW
+    )
+    return result["Core cycles"] / variant.throughput_instances
+
+
+def measure_uops(nb: NanoBench, variant: InstructionVariant) -> float:
+    """Issued µops per instruction instance."""
+    result = nb.run(
+        asm=variant.throughput_asm, asm_init=variant.init_asm,
+        events=["UOPS_ISSUED.ANY"], **_THROUGHPUT_KW
+    )
+    return result["UOPS_ISSUED.ANY"] / variant.throughput_instances
+
+
+def measure_port_usage(nb: NanoBench,
+                       variant: InstructionVariant) -> Dict[str, float]:
+    """µops dispatched per port, per instruction instance."""
+    ports = nb.core.layout.ports
+    events = ["UOPS_DISPATCHED_PORT.PORT_%s" % p for p in ports]
+    result = nb.run(
+        asm=variant.throughput_asm, asm_init=variant.init_asm,
+        events=events, **_THROUGHPUT_KW
+    )
+    usage = {}
+    for port in ports:
+        value = result["UOPS_DISPATCHED_PORT.PORT_%s" % port]
+        value /= variant.throughput_instances
+        if value > 0.005:
+            usage[port] = round(value, 3)
+    return usage
+
+
+def format_port_usage(usage: Dict[str, float]) -> str:
+    """Render port usage in the uops.info style, e.g. ``1*p0156``.
+
+    Ports with (approximately) equal per-instruction usage are grouped;
+    the multiplier is the total µop count of the group.
+    """
+    if not usage:
+        return "-"
+    groups: Dict[float, List[str]] = {}
+    for port, value in sorted(usage.items()):
+        key = round(value, 2)
+        groups.setdefault(key, []).append(port)
+    parts = []
+    for value, ports in sorted(groups.items(), reverse=True):
+        total = value * len(ports)
+        total_str = ("%d" % round(total)
+                     if abs(total - round(total)) < 0.05 else "%.2f" % total)
+        parts.append("%s*p%s" % (total_str, "".join(ports)))
+    return "+".join(parts)
+
+
+@dataclass
+class InstructionProfile:
+    """The characterization result for one variant (a uops.info row)."""
+
+    name: str
+    latency: Optional[float]
+    throughput: Optional[float]
+    uops: Optional[float]
+    ports: Dict[str, float]
+    latency_pair: str = ""
+    error: Optional[str] = None
+
+    @property
+    def port_string(self) -> str:
+        return format_port_usage(self.ports)
+
+
+def characterize_variant(nb: NanoBench,
+                         variant: InstructionVariant) -> InstructionProfile:
+    """Measure one variant fully; failures are recorded, not raised."""
+    if variant.kernel_only and not nb.kernel_mode:
+        return InstructionProfile(
+            variant.name, None, None, None, {},
+            error="requires the kernel-space version",
+        )
+    try:
+        latency = measure_latency(nb, variant)
+        throughput = measure_throughput(nb, variant)
+        uops = measure_uops(nb, variant)
+        ports = measure_port_usage(nb, variant)
+    except (TimingModelError, NanoBenchError) as exc:
+        return InstructionProfile(
+            variant.name, None, None, None, {}, error=str(exc)
+        )
+    return InstructionProfile(
+        name=variant.name,
+        latency=round(latency, 2),
+        throughput=round(throughput, 2),
+        uops=round(uops, 2),
+        ports=ports,
+        latency_pair=variant.latency_pair,
+    )

@@ -1,0 +1,38 @@
+"""Simulated microarchitecture: ports, scheduler, timing, CPU specs."""
+
+from .core import SimulatedCore
+from .dataflow import Dataflow, analyze
+from .interference import InterferenceConfig, InterferenceModel, InterruptEvent
+from .ports import PORT_LAYOUTS, PortLayout
+from .scheduler import BranchPredictor, MemoryAccessPlan, ScheduledInstruction, Scheduler
+from .specs import (
+    MICROARCHITECTURES,
+    TABLE1_CPUS,
+    CacheLevelSpec,
+    MicroarchSpec,
+    get_spec,
+)
+from .timing import ComputeUop, InstructionTiming, TimingTable
+
+__all__ = [
+    "BranchPredictor",
+    "CacheLevelSpec",
+    "ComputeUop",
+    "Dataflow",
+    "InstructionTiming",
+    "InterferenceConfig",
+    "InterferenceModel",
+    "InterruptEvent",
+    "MICROARCHITECTURES",
+    "MemoryAccessPlan",
+    "MicroarchSpec",
+    "PORT_LAYOUTS",
+    "PortLayout",
+    "ScheduledInstruction",
+    "Scheduler",
+    "SimulatedCore",
+    "TABLE1_CPUS",
+    "TimingTable",
+    "analyze",
+    "get_spec",
+]

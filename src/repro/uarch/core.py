@@ -1,0 +1,446 @@
+"""The simulated CPU core.
+
+:class:`SimulatedCore` couples the functional x86 semantics, the
+out-of-order timing scheduler, the cache hierarchy, the PMU and the
+privilege model into one executable machine.  nanoBench's generated code
+(Algorithm 1) runs on this class; every counter the tool reports is
+produced here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError, MemoryError_, PrivilegeError
+from ..memory.cache import Cache, CacheGeometry
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.paging import AddressSpace, MainMemory, PhysicalMemory
+from ..memory.replacement import AdaptivePolicy, make_policy
+from ..memory.slices import intel_slice_hash
+from ..memory.tlb import TlbGeometry, TlbHierarchy
+from ..perfctr.counters import (
+    MSR_MISC_FEATURE_CONTROL,
+    MetricStore,
+    PerformanceMonitoringUnit,
+)
+from ..x86 import semantics
+from ..x86.instructions import Instruction, Program
+from ..x86.registers import RegisterFile
+from .dataflow import analyze
+from .interference import InterferenceModel
+from .ports import PORT_LAYOUTS
+from .scheduler import MemoryAccessPlan, Scheduler
+from .specs import CacheLevelSpec, MicroarchSpec, get_spec
+from .timing import TimingTable
+
+#: Cap on dynamically executed instructions per program (runaway guard).
+DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+
+def _build_cache(name: str, level: CacheLevelSpec, rng: random.Random) -> Cache:
+    geometry = CacheGeometry(
+        size_bytes=level.size_bytes,
+        associativity=level.associativity,
+        n_slices=level.n_slices,
+    )
+    if level.dueling is not None:
+        policy = AdaptivePolicy(level.associativity, level.dueling, rng=rng)
+    else:
+        policy = make_policy(level.policy, level.associativity, rng=rng)
+    slice_hash = (
+        intel_slice_hash(level.n_slices) if level.n_slices > 1 else None
+    )
+    return Cache(name, geometry, policy, slice_hash)
+
+
+class SimulatedCore:
+    """One logical core of a simulated x86 CPU.
+
+    Implements the :class:`~repro.x86.semantics.ExecutionContext`
+    protocol, so the functional executors can run directly against it.
+    """
+
+    def __init__(self, spec_or_name, seed: int = 0) -> None:
+        spec = (
+            get_spec(spec_or_name)
+            if isinstance(spec_or_name, str) else spec_or_name
+        )
+        self.spec: MicroarchSpec = spec
+        self.rng = random.Random(seed)
+        self.layout = PORT_LAYOUTS[spec.family]
+        self.timing_table = TimingTable(
+            spec.family, move_elimination=spec.move_elimination
+        )
+        self.scheduler = Scheduler(self.layout, rng=random.Random(seed + 1))
+        self.regs = RegisterFile()
+        # --- memory system
+        self.physical = PhysicalMemory(rng=random.Random(seed + 2))
+        self.main_memory = MainMemory()
+        self.address_space = AddressSpace(
+            self.physical, rng=random.Random(seed + 3)
+        )
+        cache_rng = random.Random(seed + 4)
+        l3 = _build_cache("L3", spec.l3, cache_rng) if spec.l3 else None
+        self.hierarchy = MemoryHierarchy(
+            _build_cache("L1D", spec.l1, cache_rng),
+            _build_cache("L2", spec.l2, cache_rng),
+            l3,
+            l1_latency=spec.l1.latency,
+            l2_latency=spec.l2.latency,
+            l3_latency=spec.l3.latency if spec.l3 else 42,
+            memory_latency=spec.memory_latency,
+        )
+        self.tlb = TlbHierarchy(
+            TlbGeometry(spec.dtlb_entries, spec.dtlb_associativity),
+            TlbGeometry(spec.stlb_entries, spec.stlb_associativity),
+            stlb_hit_penalty=spec.stlb_hit_penalty,
+            walk_penalty=spec.tlb_walk_penalty,
+            rng=random.Random(seed + 6),
+        )
+        # --- counters
+        self.metrics = MetricStore()
+        self.pmu = PerformanceMonitoringUnit(
+            self.metrics,
+            n_programmable=spec.n_programmable_counters,
+            n_cboxes=spec.n_cboxes,
+        )
+        # --- interference & privilege
+        self.interference = InterferenceModel(rng=random.Random(seed + 5))
+        self._kernel_mode = False
+        self._interrupts_enabled = True
+        self._cycle_base = 0
+        self._msrs: Dict[int, int] = {}
+        #: Performance escape hatch for large cache-analysis sweeps: when
+        #: False, the per-µop scheduler is skipped (cycle and port
+        #: counters stop advancing) while the functional semantics,
+        #: cache hierarchy, and cache/instruction event counters remain
+        #: exact.  The cache tools verify both modes agree on hit counts.
+        self.timing_enabled = True
+        #: Hyperthreading: when enabled, a simulated SMT sibling thread
+        #: competes for execution ports and cache space, perturbing
+        #: measurements.  Section IV-A2: "for obtaining unperturbed
+        #: measurement results, we recommend disabling hyperthreading"
+        #: — the repository's stand-in for the paper's helper scripts.
+        self.smt_enabled = False
+        self._smt_rng = random.Random(seed + 7)
+
+    # ==================================================================
+    # Memory mapping helpers (used by nanoBench and the tools)
+    # ==================================================================
+    def map_user_region(self, virtual_address: int, size: int) -> None:
+        """Map a user buffer (scattered physical pages)."""
+        self.address_space.map_user(virtual_address, size)
+
+    def map_kernel_region(self, virtual_address: int, size: int) -> int:
+        """Map a physically-contiguous kernel buffer; returns phys base."""
+        return self.address_space.map_kernel_contiguous(virtual_address, size)
+
+    def virt_to_phys(self, virtual_address: int) -> int:
+        return self.address_space.translate(virtual_address)
+
+    # ==================================================================
+    # ExecutionContext protocol (functional semantics)
+    # ==================================================================
+    def read_memory(self, address: int, size: int) -> int:
+        return self.main_memory.read(self.address_space.translate(address), size)
+
+    def write_memory(self, address: int, size: int, value: int) -> None:
+        self.main_memory.write(self.address_space.translate(address), size, value)
+
+    def is_kernel_mode(self) -> bool:
+        return self._kernel_mode
+
+    def rdpmc(self, index: int) -> int:
+        return self.pmu.rdpmc(index, kernel_mode=self._kernel_mode)
+
+    def rdmsr(self, index: int) -> int:
+        value = self.pmu.read_msr(index)
+        if value is not None:
+            return value
+        return self._msrs.get(index, 0)
+
+    def wrmsr(self, index: int, value: int) -> None:
+        self._msrs[index] = value
+        if index == MSR_MISC_FEATURE_CONTROL:
+            if self.spec.prefetcher_can_disable:
+                # Bits 0-3 disable the four prefetchers (Intel).
+                self.hierarchy.prefetcher_enabled = not (value & 0xF)
+            # On AMD parts there is no documented disable bit; the write
+            # is accepted but has no effect (Section VI-D).
+
+    def rdtsc(self) -> int:
+        return int(self._cycle_base + self.scheduler.now)
+
+    def cpuid(self, eax: int, ecx: int) -> Tuple[int, int, int, int]:
+        if eax == 0:
+            if self.spec.vendor == "Intel":
+                # "GenuineIntel" in EBX/EDX/ECX.
+                return 0x16, 0x756E6547, 0x6C65746E, 0x49656E69
+            return 0x0D, 0x68747541, 0x444D4163, 0x69746E65
+        if eax == 1:
+            model = 0x50650 + self.spec.generation
+            return model, 0, 0, 0
+        return 0, 0, 0, 0
+
+    def wbinvd(self) -> None:
+        self.hierarchy.wbinvd()
+
+    def clflush(self, address: int) -> None:
+        try:
+            physical = self.address_space.translate(address)
+        except MemoryError_:
+            return  # CLFLUSH of an unmapped address is a no-op
+        self.hierarchy.clflush(physical)
+
+    def prefetch(self, address: int, level: int) -> None:
+        try:
+            physical = self.address_space.translate(address)
+        except MemoryError_:
+            return
+        self.hierarchy.prefetch_into(physical)
+
+    # ==================================================================
+    # Interrupt control (kernel-space nanoBench uses CLI/STI)
+    # ==================================================================
+    def disable_interrupts(self) -> None:
+        self._interrupts_enabled = False
+        self.interference.disable()
+
+    def enable_interrupts(self) -> None:
+        self._interrupts_enabled = True
+        self.interference.enable()
+
+    # ==================================================================
+    # Execution
+    # ==================================================================
+    def _plan_memory_accesses(
+        self, instr: Instruction
+    ) -> Tuple[List[MemoryAccessPlan], List[MemoryAccessPlan]]:
+        """Resolve the instruction's memory operands to timed accesses."""
+        flow = analyze(instr)
+        loads: List[MemoryAccessPlan] = []
+        stores: List[MemoryAccessPlan] = []
+        line = self.hierarchy.l1.geometry.line_size
+        for mem in flow.loads:
+            virtual = semantics.effective_address(self, mem)
+            physical = self.address_space.translate(virtual)
+            tlb = self.tlb.access(virtual)
+            self._record_tlb_metrics(tlb, is_store=False)
+            result = self.hierarchy.access(physical)
+            self._record_memory_metrics(result, is_store=False)
+            loads.append(MemoryAccessPlan(
+                line_address=physical - physical % line,
+                latency=result.latency + tlb.penalty,
+                address_registers=mem.registers_read,
+            ))
+        for mem in flow.stores:
+            virtual = semantics.effective_address(self, mem)
+            physical = self.address_space.translate(virtual)
+            tlb = self.tlb.access(virtual)
+            self._record_tlb_metrics(tlb, is_store=True)
+            result = self.hierarchy.access(physical, is_write=True)
+            self._record_memory_metrics(result, is_store=True)
+            stores.append(MemoryAccessPlan(
+                line_address=physical - physical % line,
+                latency=result.latency + tlb.penalty,
+                address_registers=mem.registers_read,
+                is_store=True,
+            ))
+        return loads, stores
+
+    def _record_tlb_metrics(self, result, *, is_store: bool) -> None:
+        if result.dtlb_hit:
+            return
+        prefix = "dtlb_store" if is_store else "dtlb_load"
+        self.metrics.add("%s_misses" % prefix)
+        if result.caused_walk:
+            self.metrics.add("%s_walks" % prefix)
+        else:
+            self.metrics.add("%s_stlb_hits" % prefix)
+
+    def _record_memory_metrics(self, result, *, is_store: bool) -> None:
+        metrics = self.metrics
+        metrics.add("mem_stores" if is_store else "mem_loads")
+        if not is_store:
+            if result.level == 1:
+                metrics.add("l1_hit")
+            else:
+                metrics.add("l1_miss")
+                if result.level == 2:
+                    metrics.add("l2_hit")
+                else:
+                    metrics.add("l2_miss")
+                    if result.level == 3:
+                        metrics.add("l3_hit")
+                    elif result.level == 4:
+                        metrics.add("l3_miss")
+        if result.l3_slice is not None:
+            metrics.add("cbox%d_lookups" % result.l3_slice)
+            if result.level == 4:
+                metrics.add("cbox%d_misses" % result.l3_slice)
+
+    def _update_clock_metrics(self) -> None:
+        now = self._cycle_base + self.scheduler.now
+        self.metrics.set("core_cycles", float(now))
+        self.metrics.set("ref_cycles", now * self.spec.reference_clock_ratio)
+        self.metrics.set("aperf", float(now))
+        self.metrics.set("mperf", now * self.spec.reference_clock_ratio)
+
+    def _apply_interrupts(self) -> None:
+        if not self._interrupts_enabled:
+            return
+        for event in self.interference.poll(self.current_cycle):
+            self._apply_interference_event(event)
+
+    def _apply_interference_event(self, event) -> None:
+        self.metrics.add("instructions_retired", event.instructions)
+        self.metrics.add("uops_issued", event.uops)
+        self.metrics.add("branches", event.branches)
+        self.metrics.add(
+            "branch_mispredicts", max(1, event.branches // 50)
+        )
+        self.scheduler.external_delay(event.cycles)
+        # Cache pollution: the handler touches kernel lines.
+        for _ in range(event.cache_lines_touched):
+            physical = self.rng.randrange(0, 1 << 24) & ~0x3F
+            self.hierarchy.access(physical, is_prefetch=True)
+        self._update_clock_metrics()
+
+    def inject_interference(self, event) -> None:
+        """Apply an externally generated interference event (runner use)."""
+        self._apply_interference_event(event)
+
+    # ==================================================================
+    # SMT sibling contention (Section IV-A2)
+    # ==================================================================
+    def enable_smt(self) -> None:
+        self.smt_enabled = True
+
+    def disable_smt(self) -> None:
+        """The equivalent of the repository's disable-hyperthreading
+        script: the sibling thread goes away."""
+        self.smt_enabled = False
+
+    def _apply_smt_contention(self) -> None:
+        """Per-instruction perturbation by the sibling hardware thread.
+
+        The sibling steals issue/execution slots (an occasional extra
+        cycle) and cache space (an occasional line of pollution).
+        """
+        if self._smt_rng.random() < 0.15:
+            self.scheduler.external_delay(1)
+        if self._smt_rng.random() < 0.02:
+            physical = self._smt_rng.randrange(0, 1 << 22) & ~0x3F
+            self.hierarchy.access(physical, is_prefetch=True)
+
+    # ------------------------------------------------------------------
+    def run_program(
+        self,
+        program: Program,
+        *,
+        kernel_mode: bool = False,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> int:
+        """Execute *program* to completion; returns instructions retired."""
+        self._kernel_mode = kernel_mode
+        executed = 0
+        pc = 0
+        instructions = program.instructions
+        while pc < len(instructions):
+            instr = instructions[pc]
+            mnemonic = instr.mnemonic
+            # nanoBench magic sequences toggle counting directly when
+            # they reach the core unreplaced.
+            if mnemonic == "PAUSE_COUNTING":
+                self._update_clock_metrics()
+                self.pmu.pause_counting()
+                pc += 1
+                continue
+            if mnemonic == "RESUME_COUNTING":
+                self._update_clock_metrics()
+                self.pmu.resume_counting()
+                pc += 1
+                continue
+
+            metrics = self.metrics
+            if self.timing_enabled:
+                timing = self.timing_table.lookup(instr)
+                flow = analyze(instr)
+                loads, stores = self._plan_memory_accesses(instr)
+
+                branch_taken: Optional[bool] = None
+                branch_site = None
+                if instr.spec.is_branch:
+                    branch_site = pc
+                    if mnemonic == "JMP":
+                        branch_taken = True
+                    else:
+                        branch_taken = semantics._condition_holds(
+                            self.regs, mnemonic[1:]
+                        )
+
+                scheduled = self.scheduler.schedule(
+                    timing,
+                    sources=flow.sources,
+                    destinations=flow.destinations,
+                    loads=loads,
+                    stores=stores,
+                    branch_site=branch_site,
+                    branch_taken=branch_taken,
+                )
+
+                # --- counter updates
+                metrics.add("instructions_retired")
+                metrics.add("uops_issued", scheduled.issued_uops)
+                for port, count in scheduled.dispatched.items():
+                    metrics.add("uops_port_%s" % port, count)
+                if instr.spec.is_branch:
+                    metrics.add("branches")
+                    if scheduled.mispredicted:
+                        metrics.add("branch_mispredicts")
+                if timing.microcoded:
+                    # Microcoded instructions drain before later µops
+                    # dispatch (RDMSR, CPUID, WBINVD are effectively
+                    # pipeline barriers on real hardware).
+                    self.scheduler.serialize_after_microcode(
+                        scheduled.complete_cycle
+                    )
+                if self.smt_enabled:
+                    self._apply_smt_contention()
+                self._update_clock_metrics()
+                self._apply_interrupts()
+            else:
+                # Fast functional mode: exact cache behaviour and event
+                # counts, no cycle accounting.
+                self._plan_memory_accesses(instr)
+                metrics.add("instructions_retired")
+                if instr.spec.is_branch:
+                    metrics.add("branches")
+
+            # --- functional execution
+            target = semantics.execute(self, instr)
+            executed += 1
+            if executed > max_instructions:
+                raise ExecutionError(
+                    "instruction budget exceeded (%d)" % (max_instructions,)
+                )
+            if target is not None:
+                pc = program.labels[target]
+            else:
+                pc += 1
+        self._update_clock_metrics()
+        return executed
+
+    # ------------------------------------------------------------------
+    def reset_timing(self) -> None:
+        """Start a fresh timing epoch (new benchmark process).
+
+        The cycle counters stay monotone across epochs.
+        """
+        self._cycle_base += self.scheduler.now
+        self.scheduler.reset()
+
+    @property
+    def current_cycle(self) -> int:
+        return self._cycle_base + self.scheduler.now

@@ -1,0 +1,172 @@
+"""Execution-port layouts per microarchitecture family.
+
+µop timing entries name *functional classes* (ALU, MUL, LOAD, ...);
+a :class:`PortLayout` resolves each class to the set of concrete ports
+it may dispatch to on a given family.  This is what makes the paper's
+Section III-A example come out right: a load on Skylake may dispatch to
+port 2 or port 3, so a pointer-chase measures 0.5 µops on each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PortLayout:
+    """Concrete ports and functional-class mapping of one family."""
+
+    name: str
+    ports: Tuple[str, ...]
+    classes: Dict[str, Tuple[str, ...]]
+    frontend_width: int = 4
+
+    def resolve(self, functional_class: str) -> Tuple[str, ...]:
+        try:
+            return self.classes[functional_class]
+        except KeyError:
+            raise KeyError(
+                "family %s has no port class %r" % (self.name, functional_class)
+            )
+
+
+def _layout(name: str, ports, classes, frontend_width=4) -> PortLayout:
+    return PortLayout(
+        name=name,
+        ports=tuple(ports),
+        classes={k: tuple(v) for k, v in classes.items()},
+        frontend_width=frontend_width,
+    )
+
+
+#: Skylake and successors (Skylake, Kaby Lake, Coffee Lake, Cannon Lake):
+#: 8 ports; ALU on 0/1/5/6, loads on 2/3, store-data on 4,
+#: store-address on 2/3/7, branches on 0/6, vector on 0/1/5.
+SKYLAKE_LAYOUT = _layout(
+    "SKL",
+    ["0", "1", "2", "3", "4", "5", "6", "7"],
+    {
+        "ALU": ("0", "1", "5", "6"),
+        "SHIFT": ("0", "6"),
+        "LEA": ("1", "5"),
+        "MUL": ("1",),
+        "DIV": ("0",),
+        "BRANCH": ("0", "6"),
+        "LOAD": ("2", "3"),
+        "STORE_ADDR": ("2", "3", "7"),
+        "STORE_DATA": ("4",),
+        "VEC_INT": ("0", "1", "5"),
+        "VEC_LOGIC": ("0", "1", "5"),
+        "VEC_FP_ADD": ("0", "1"),
+        "VEC_FP_MUL": ("0", "1"),
+        "FMA": ("0", "1"),
+        "VEC_DIV": ("0",),
+        "MICROCODE": ("0", "1", "5", "6"),
+    },
+)
+
+#: Haswell / Broadwell: 8 ports, FP add on 1, FP mul/FMA on 0/1.
+HASWELL_LAYOUT = _layout(
+    "HSW",
+    ["0", "1", "2", "3", "4", "5", "6", "7"],
+    {
+        "ALU": ("0", "1", "5", "6"),
+        "SHIFT": ("0", "6"),
+        "LEA": ("1", "5"),
+        "MUL": ("1",),
+        "DIV": ("0",),
+        "BRANCH": ("0", "6"),
+        "LOAD": ("2", "3"),
+        "STORE_ADDR": ("2", "3", "7"),
+        "STORE_DATA": ("4",),
+        "VEC_INT": ("0", "1", "5"),
+        "VEC_LOGIC": ("0", "1", "5"),
+        "VEC_FP_ADD": ("1",),
+        "VEC_FP_MUL": ("0", "1"),
+        "FMA": ("0", "1"),
+        "VEC_DIV": ("0",),
+        "MICROCODE": ("0", "1", "5", "6"),
+    },
+)
+
+#: Sandy Bridge / Ivy Bridge: 6 ports; loads and store-address share 2/3.
+SANDY_BRIDGE_LAYOUT = _layout(
+    "SNB",
+    ["0", "1", "2", "3", "4", "5"],
+    {
+        "ALU": ("0", "1", "5"),
+        "SHIFT": ("0", "5"),
+        "LEA": ("0", "1"),
+        "MUL": ("1",),
+        "DIV": ("0",),
+        "BRANCH": ("5",),
+        "LOAD": ("2", "3"),
+        "STORE_ADDR": ("2", "3"),
+        "STORE_DATA": ("4",),
+        "VEC_INT": ("0", "1", "5"),
+        "VEC_LOGIC": ("0", "1", "5"),
+        "VEC_FP_ADD": ("1",),
+        "VEC_FP_MUL": ("0",),
+        "FMA": ("0",),
+        "VEC_DIV": ("0",),
+        "MICROCODE": ("0", "1", "5"),
+    },
+)
+
+#: Nehalem / Westmere: 6 ports; dedicated load (2), store-addr (3),
+#: store-data (4).
+NEHALEM_LAYOUT = _layout(
+    "NHM",
+    ["0", "1", "2", "3", "4", "5"],
+    {
+        "ALU": ("0", "1", "5"),
+        "SHIFT": ("0", "5"),
+        "LEA": ("0", "1"),
+        "MUL": ("1",),
+        "DIV": ("0",),
+        "BRANCH": ("5",),
+        "LOAD": ("2",),
+        "STORE_ADDR": ("3",),
+        "STORE_DATA": ("4",),
+        "VEC_INT": ("0", "1", "5"),
+        "VEC_LOGIC": ("0", "1", "5"),
+        "VEC_FP_ADD": ("1",),
+        "VEC_FP_MUL": ("0",),
+        "FMA": ("0",),
+        "VEC_DIV": ("0",),
+        "MICROCODE": ("0", "1", "5"),
+    },
+)
+
+#: AMD Zen family: four ALU pipes, two AGU pipes, four FP pipes.
+ZEN_LAYOUT = _layout(
+    "ZEN",
+    ["ALU0", "ALU1", "ALU2", "ALU3", "AGU0", "AGU1",
+     "FP0", "FP1", "FP2", "FP3"],
+    {
+        "ALU": ("ALU0", "ALU1", "ALU2", "ALU3"),
+        "SHIFT": ("ALU0", "ALU1", "ALU2", "ALU3"),
+        "LEA": ("ALU0", "ALU1", "ALU2", "ALU3"),
+        "MUL": ("ALU1",),
+        "DIV": ("ALU2",),
+        "BRANCH": ("ALU0", "ALU3"),
+        "LOAD": ("AGU0", "AGU1"),
+        "STORE_ADDR": ("AGU0", "AGU1"),
+        "STORE_DATA": ("FP2",),
+        "VEC_INT": ("FP0", "FP1", "FP2", "FP3"),
+        "VEC_LOGIC": ("FP0", "FP1", "FP2", "FP3"),
+        "VEC_FP_ADD": ("FP2", "FP3"),
+        "VEC_FP_MUL": ("FP0", "FP1"),
+        "FMA": ("FP0", "FP1"),
+        "VEC_DIV": ("FP3",),
+        "MICROCODE": ("ALU0", "ALU1", "ALU2", "ALU3"),
+    },
+    frontend_width=5,
+)
+
+PORT_LAYOUTS: Dict[str, PortLayout] = {
+    layout.name: layout
+    for layout in (SKYLAKE_LAYOUT, HASWELL_LAYOUT, SANDY_BRIDGE_LAYOUT,
+                   NEHALEM_LAYOUT, ZEN_LAYOUT)
+}

@@ -1,0 +1,297 @@
+"""Out-of-order dispatch/timing engine.
+
+Models the parts of a modern x86 core that determine what nanoBench's
+counters read: a width-limited front end, per-port pipelined execution
+units, a register/flag dependency scoreboard, store-to-load ordering,
+fences with LFENCE's "all prior complete / no later begins" contract
+(Section IV-A1), microcoded instructions with variable µop counts
+(CPUID), move elimination, and a small branch predictor with a
+mispredict penalty.
+
+The scheduler does not simulate every pipeline stage cycle-by-cycle;
+it computes, per µop, the earliest dispatch cycle consistent with its
+dependencies and port availability — sufficient for latency, throughput
+and port-usage measurements, which are the paper's observables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ports import PortLayout
+from .timing import ComputeUop, InstructionTiming
+
+
+@dataclass(frozen=True)
+class MemoryAccessPlan:
+    """A resolved memory access handed to the scheduler by the core."""
+
+    line_address: int
+    latency: int
+    address_registers: Tuple[str, ...]
+    is_store: bool = False
+
+
+@dataclass
+class ScheduledInstruction:
+    """Timing outcome of one dynamic instruction."""
+
+    issue_cycle: int
+    complete_cycle: int
+    issued_uops: int
+    dispatched: Dict[str, int] = field(default_factory=dict)
+    mispredicted: bool = False
+
+
+class BranchPredictor:
+    """Per-site two-bit saturating counters (taken-biased on first use)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[object, int] = {}
+
+    def predict(self, site: object) -> bool:
+        return self._counters.get(site, 2) >= 2
+
+    def update(self, site: object, taken: bool) -> None:
+        counter = self._counters.get(site, 2)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        self._counters[site] = counter
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+class Scheduler:
+    """Dependency- and port-aware µop timing engine for one core."""
+
+    MISPREDICT_PENALTY = 15
+
+    def __init__(self, layout: PortLayout,
+                 rng: Optional[random.Random] = None) -> None:
+        self.layout = layout
+        self.rng = rng if rng is not None else random.Random(0)
+        self.predictor = BranchPredictor()
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset all timing state (a new benchmark process)."""
+        self._resource_ready: Dict[str, int] = {}
+        self._store_ready: Dict[int, int] = {}
+        self._port_free: Dict[str, int] = {p: 0 for p in self.layout.ports}
+        self._port_load: Dict[str, int] = {p: 0 for p in self.layout.ports}
+        self._frontend_cycle = 0
+        self._frontend_slots = 0
+        self._fence_until = 0
+        self._max_complete = 0
+        self.predictor.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Monotone clock: the latest completion seen so far."""
+        return self._max_complete
+
+    def resource_ready_time(self, resource: str) -> int:
+        return self._resource_ready.get(resource, 0)
+
+    # ------------------------------------------------------------------
+    def _issue_slot(self) -> int:
+        """Allocate one front-end slot; returns the issue cycle."""
+        cycle = self._frontend_cycle
+        self._frontend_slots += 1
+        if self._frontend_slots >= self.layout.frontend_width:
+            self._frontend_cycle += 1
+            self._frontend_slots = 0
+        return cycle
+
+    def _dispatch(self, candidates: Sequence[str], earliest: int,
+                  latency: int, dispatched: Dict[str, int]) -> int:
+        """Dispatch one µop to the best candidate port; returns completion."""
+        best_port = None
+        best_start = None
+        for port in candidates:
+            start = max(earliest, self._port_free[port])
+            if (
+                best_start is None
+                or start < best_start
+                or (start == best_start
+                    and self._port_load[port] < self._port_load[best_port])
+            ):
+                best_port, best_start = port, start
+        self._port_free[best_port] = best_start + 1
+        self._port_load[best_port] += 1
+        dispatched[best_port] = dispatched.get(best_port, 0) + 1
+        completion = best_start + latency
+        self._max_complete = max(self._max_complete, completion)
+        return completion
+
+    def _sources_ready(self, sources) -> int:
+        ready = 0
+        for resource in sources:
+            ready = max(ready, self._resource_ready.get(resource, 0))
+        return ready
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        timing: InstructionTiming,
+        *,
+        sources: Sequence[str] = (),
+        destinations: Sequence[str] = (),
+        loads: Sequence[MemoryAccessPlan] = (),
+        stores: Sequence[MemoryAccessPlan] = (),
+        breaks_dependency: bool = False,
+        branch_site: Optional[object] = None,
+        branch_taken: Optional[bool] = None,
+    ) -> ScheduledInstruction:
+        """Schedule one dynamic instruction; returns its timing."""
+        dispatched: Dict[str, int] = {}
+        issued = 0
+        first_issue = self._frontend_cycle
+
+        if timing.is_fence:
+            return self._schedule_fence(timing)
+
+        ignore_sources = breaks_dependency or timing.breaks_dependency
+
+        # ---- eliminated instructions (NOP, reg moves, zeroing idioms)
+        if timing.eliminated:
+            issue = self._issue_slot()
+            issued = 1
+            ready = max(issue, self._fence_until)
+            if not ignore_sources:
+                ready = max(ready, self._sources_ready(sources))
+            for destination in destinations:
+                self._resource_ready[destination] = ready
+            self._max_complete = max(self._max_complete, ready)
+            return ScheduledInstruction(issue, ready, issued, dispatched)
+
+        # ---- load µops
+        source_ready = 0 if ignore_sources else self._sources_ready(sources)
+        loads_complete = 0
+        for plan in loads:
+            issue = self._issue_slot()
+            issued += 1
+            earliest = max(
+                issue,
+                self._fence_until,
+                self._sources_ready(plan.address_registers),
+                self._store_ready.get(plan.line_address, 0),
+            )
+            completion = self._dispatch(
+                self.layout.resolve("LOAD"), earliest, plan.latency, dispatched
+            )
+            loads_complete = max(loads_complete, completion)
+
+        # ---- compute µops
+        compute_uops: List[ComputeUop] = list(timing.compute_uops)
+        extra_latency = timing.base_latency
+        if timing.latency_jitter:
+            extra_latency += self.rng.randint(0, timing.latency_jitter)
+        if timing.microcoded:
+            count = self.rng.randint(*timing.microcode_uops)
+            compute_uops.extend(ComputeUop("MICROCODE", 1) for _ in range(count))
+
+        compute_complete = loads_complete
+        earliest_base = max(self._fence_until, source_ready, loads_complete)
+        for uop in compute_uops:
+            issue = self._issue_slot()
+            issued += 1
+            earliest = max(issue, earliest_base)
+            completion = self._dispatch(
+                self.layout.resolve(uop.port_class), earliest,
+                uop.latency, dispatched,
+            )
+            compute_complete = max(compute_complete, completion)
+        if not compute_uops and not loads:
+            # Pure-store or microcode-free special cases.
+            compute_complete = max(self._fence_until, source_ready,
+                                   self._frontend_cycle)
+        if extra_latency:
+            compute_complete += extra_latency
+            self._max_complete = max(self._max_complete, compute_complete)
+
+        result_ready = compute_complete
+
+        # ---- store µops (address + data)
+        for plan in stores:
+            issue = self._issue_slot()
+            issued += 2
+            sta_earliest = max(
+                issue,
+                self._fence_until,
+                self._sources_ready(plan.address_registers),
+            )
+            sta_complete = self._dispatch(
+                self.layout.resolve("STORE_ADDR"), sta_earliest, 1, dispatched
+            )
+            std_earliest = max(issue, self._fence_until, result_ready,
+                               source_ready)
+            std_complete = self._dispatch(
+                self.layout.resolve("STORE_DATA"), std_earliest, 1, dispatched
+            )
+            self._store_ready[plan.line_address] = max(
+                sta_complete, std_complete
+            )
+
+        complete = max(result_ready,
+                       max((self._store_ready.get(p.line_address, 0)
+                            for p in stores), default=0))
+
+        # ---- destinations and serialization effects
+        for destination in destinations:
+            self._resource_ready[destination] = result_ready
+
+        mispredicted = False
+        if branch_site is not None and branch_taken is not None:
+            predicted = self.predictor.predict(branch_site)
+            self.predictor.update(branch_site, branch_taken)
+            if predicted != branch_taken:
+                mispredicted = True
+                resume = complete + self.MISPREDICT_PENALTY
+                self._frontend_cycle = max(self._frontend_cycle, resume)
+                self._frontend_slots = 0
+                self._max_complete = max(self._max_complete, resume)
+
+        self._max_complete = max(self._max_complete, complete)
+        return ScheduledInstruction(
+            first_issue, complete, issued, dispatched, mispredicted
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_fence(self, timing: InstructionTiming) -> ScheduledInstruction:
+        """LFENCE-style: wait for all prior work, block later dispatch."""
+        issue = self._issue_slot()
+        start = max(issue, self._max_complete, self._fence_until)
+        completion = start + timing.fence_latency
+        self._fence_until = completion
+        self._max_complete = max(self._max_complete, completion)
+        # The front end also resumes no earlier than fence completion.
+        self._frontend_cycle = max(self._frontend_cycle, completion)
+        self._frontend_slots = 0
+        return ScheduledInstruction(issue, completion, 1, {})
+
+    # ------------------------------------------------------------------
+    def external_delay(self, cycles: int) -> None:
+        """Advance time by an external event (interrupt, preemption)."""
+        resume = self._max_complete + cycles
+        self._fence_until = max(self._fence_until, resume)
+        self._frontend_cycle = max(self._frontend_cycle, resume)
+        self._frontend_slots = 0
+        self._max_complete = resume
+
+    def serialize_after_microcode(self, completion: int) -> None:
+        """CPUID/WRMSR-style drain: later instructions start afterwards.
+
+        Weaker than LFENCE (the paper notes CPUID does not order itself
+        w.r.t. preceding µops), so only the forward edge is enforced.
+        """
+        self._fence_until = max(self._fence_until, completion)
+        self._frontend_cycle = max(self._frontend_cycle, completion)
+        self._frontend_slots = 0
+
+    def port_pressure(self) -> Dict[str, int]:
+        """Total µops dispatched per port since the last reset."""
+        return dict(self._port_load)

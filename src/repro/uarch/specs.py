@@ -1,0 +1,238 @@
+"""Microarchitecture specifications for the CPUs of Table I plus AMD Zen.
+
+Each :class:`MicroarchSpec` records the cache geometry and ground-truth
+replacement policies (from Table I and Section VI-D of the paper), the
+execution-port family, counter counts and clock ratios.  These specs
+instantiate the simulated CPUs that the case-study tools are then run
+against — the benchmark for Table I checks that the tools *recover*
+exactly what is configured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..memory.replacement import DedicatedRange, SetDuelingConfig
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Geometry + policy of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    policy: str = "PLRU"
+    latency: int = 4
+    n_slices: int = 1
+    dueling: Optional[SetDuelingConfig] = None
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (64 * self.associativity * self.n_slices)
+
+
+@dataclass(frozen=True)
+class MicroarchSpec:
+    """One CPU model of Table I."""
+
+    name: str  # microarchitecture, e.g. "Skylake"
+    cpu_model: str  # e.g. "Core i7-6500U"
+    generation: int  # Intel Core generation (0 for AMD)
+    family: str  # port-layout / timing family key
+    l1: CacheLevelSpec = field(default=None)  # type: ignore[assignment]
+    l2: CacheLevelSpec = field(default=None)  # type: ignore[assignment]
+    l3: CacheLevelSpec = field(default=None)  # type: ignore[assignment]
+    memory_latency: int = 200
+    n_programmable_counters: int = 4
+    n_fixed_counters: int = 3
+    #: reference-clock / core-clock ratio (the Section III-A example
+    #: shows 3.52 reference cycles per 4.00 core cycles on Skylake).
+    reference_clock_ratio: float = 0.88
+    #: Nominal core frequency, used to convert cycles to wall time in
+    #: the Section III-K execution-time experiment.
+    frequency_ghz: float = 3.5
+    move_elimination: bool = True
+    #: Whether the data prefetchers can be disabled via MSR 0x1A4
+    #: (not possible on the AMD parts — Section VI-D).
+    prefetcher_can_disable: bool = True
+    vendor: str = "Intel"
+    #: Data-TLB parameters (the Section VIII future-work substrate).
+    dtlb_entries: int = 64
+    dtlb_associativity: int = 4
+    stlb_entries: int = 1536
+    stlb_associativity: int = 12
+    stlb_hit_penalty: int = 7
+    tlb_walk_penalty: int = 30
+
+    @property
+    def n_cboxes(self) -> int:
+        return self.l3.n_slices if self.l3 is not None else 0
+
+
+def _dueling(policy_a: str, policy_b: str, layout: str) -> SetDuelingConfig:
+    """Dedicated-set layouts observed in Section VI-D."""
+    range_a1 = (512, 575)
+    range_b1 = (768, 831)
+    if layout == "all_slices":  # Ivy Bridge
+        dedicated_a = (DedicatedRange(*range_a1),)
+        dedicated_b = (DedicatedRange(*range_b1),)
+    elif layout == "slice0_only":  # Haswell
+        dedicated_a = (DedicatedRange(*range_a1, slices=(0,)),)
+        dedicated_b = (DedicatedRange(*range_b1, slices=(0,)),)
+    elif layout == "swapped":  # Broadwell
+        dedicated_a = (
+            DedicatedRange(*range_a1, slices=(0,)),
+            DedicatedRange(*range_b1, slices=(1,)),
+        )
+        dedicated_b = (
+            DedicatedRange(*range_a1, slices=(1,)),
+            DedicatedRange(*range_b1, slices=(0,)),
+        )
+    else:
+        raise ValueError("unknown dueling layout: %r" % (layout,))
+    return SetDuelingConfig(
+        policy_a=policy_a, policy_b=policy_b,
+        dedicated_a=dedicated_a, dedicated_b=dedicated_b,
+    )
+
+
+_KB = 1024
+_MB = 1024 * 1024
+
+#: The deterministic policy of the Ivy Bridge dedicated sets 512-575 and
+#: its probabilistic sibling in sets 768-831 (Section VI-D / Figure 1).
+IVY_BRIDGE_POLICY_A = "QLRU_H11_M1_R1_U2"
+IVY_BRIDGE_POLICY_B = "QLRU_H11_MR161_R1_U2"
+HASWELL_POLICY_A = "QLRU_H11_M1_R0_U0"
+HASWELL_POLICY_B = "QLRU_H11_MR161_R0_U0"
+
+MICROARCHITECTURES: Dict[str, MicroarchSpec] = {}
+
+
+def _add(spec: MicroarchSpec) -> MicroarchSpec:
+    MICROARCHITECTURES[spec.name] = spec
+    return spec
+
+
+_add(MicroarchSpec(
+    name="Nehalem", cpu_model="Core i5-750", generation=1, family="NHM",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=10),
+    l3=CacheLevelSpec(8 * _MB, 16, "MRU", latency=38, n_slices=1),
+    reference_clock_ratio=0.50, move_elimination=False,
+))
+
+_add(MicroarchSpec(
+    name="Westmere", cpu_model="Core i5-650", generation=1, family="NHM",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=10),
+    l3=CacheLevelSpec(4 * _MB, 16, "MRU", latency=38, n_slices=1),
+    reference_clock_ratio=0.50, move_elimination=False,
+))
+
+_add(MicroarchSpec(
+    name="SandyBridge", cpu_model="Core i7-2600", generation=2, family="SNB",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=12),
+    l3=CacheLevelSpec(8 * _MB, 16, "MRU_SB", latency=30, n_slices=4),
+    reference_clock_ratio=0.89, move_elimination=False,
+))
+
+_add(MicroarchSpec(
+    name="IvyBridge", cpu_model="Core i5-3470", generation=3, family="SNB",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=12),
+    l3=CacheLevelSpec(
+        6 * _MB, 12, "ADAPTIVE", latency=30, n_slices=4,
+        dueling=_dueling(IVY_BRIDGE_POLICY_A, IVY_BRIDGE_POLICY_B,
+                         "all_slices"),
+    ),
+    reference_clock_ratio=0.89,
+))
+
+_add(MicroarchSpec(
+    name="Haswell", cpu_model="Xeon E3-1225 v3", generation=4, family="HSW",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=12),
+    l3=CacheLevelSpec(
+        8 * _MB, 16, "ADAPTIVE", latency=34, n_slices=4,
+        dueling=_dueling(HASWELL_POLICY_A, HASWELL_POLICY_B, "slice0_only"),
+    ),
+    reference_clock_ratio=0.84,
+))
+
+_add(MicroarchSpec(
+    name="Broadwell", cpu_model="Core i5-5200U", generation=5, family="HSW",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 8, "PLRU", latency=12),
+    l3=CacheLevelSpec(
+        3 * _MB, 12, "ADAPTIVE", latency=34, n_slices=2,
+        dueling=_dueling(HASWELL_POLICY_A, HASWELL_POLICY_B, "swapped"),
+    ),
+    reference_clock_ratio=0.80,
+))
+
+_add(MicroarchSpec(
+    name="Skylake", cpu_model="Core i7-6500U", generation=6, family="SKL",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 4, "QLRU_H00_M1_R2_U1", latency=12),
+    l3=CacheLevelSpec(4 * _MB, 16, "QLRU_H11_M1_R0_U0", latency=34,
+                      n_slices=2),
+    reference_clock_ratio=0.88,
+))
+
+_add(MicroarchSpec(
+    name="KabyLake", cpu_model="Core i7-7700", generation=7, family="SKL",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 4, "QLRU_H00_M1_R2_U1", latency=12),
+    l3=CacheLevelSpec(8 * _MB, 16, "QLRU_H11_M1_R0_U0", latency=34,
+                      n_slices=4),
+    reference_clock_ratio=0.86,
+))
+
+_add(MicroarchSpec(
+    name="CoffeeLake", cpu_model="Core i7-8700K", generation=8, family="SKL",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 4, "QLRU_H00_M1_R2_U1", latency=12),
+    l3=CacheLevelSpec(8 * _MB, 16, "QLRU_H11_M1_R0_U0", latency=34,
+                      n_slices=4),
+    reference_clock_ratio=0.88,
+))
+
+_add(MicroarchSpec(
+    name="CannonLake", cpu_model="Core i3-8121U", generation=8, family="SKL",
+    l1=CacheLevelSpec(32 * _KB, 8, "PLRU", latency=4),
+    l2=CacheLevelSpec(256 * _KB, 4, "QLRU_H00_M1_R0_U1", latency=12),
+    l3=CacheLevelSpec(4 * _MB, 16, "QLRU_H11_M1_R0_U0", latency=34,
+                      n_slices=2),
+    reference_clock_ratio=0.73,
+))
+
+_add(MicroarchSpec(
+    name="Zen", cpu_model="Ryzen 7 1800X", generation=0, family="ZEN",
+    l1=CacheLevelSpec(32 * _KB, 8, "LRU", latency=4),
+    l2=CacheLevelSpec(512 * _KB, 8, "LRU", latency=12),
+    l3=CacheLevelSpec(8 * _MB, 16, "LRU", latency=35, n_slices=2),
+    n_programmable_counters=6,
+    reference_clock_ratio=0.90,
+    prefetcher_can_disable=False,
+    vendor="AMD",
+))
+
+#: CPUs evaluated for Table I (in table order).
+TABLE1_CPUS: Tuple[str, ...] = (
+    "Nehalem", "Westmere", "SandyBridge", "IvyBridge", "Haswell",
+    "Broadwell", "Skylake", "KabyLake", "CoffeeLake", "CannonLake",
+)
+
+
+def get_spec(name: str) -> MicroarchSpec:
+    """Look up a spec by microarchitecture name (case-insensitive)."""
+    for key, spec in MICROARCHITECTURES.items():
+        if key.lower() == name.lower().replace(" ", "").replace("_", ""):
+            return spec
+    raise KeyError(
+        "unknown microarchitecture %r (known: %s)"
+        % (name, ", ".join(sorted(MICROARCHITECTURES)))
+    )

@@ -1,0 +1,113 @@
+"""Decoder for the byte format produced by :mod:`repro.x86.encoder`.
+
+The simulated front end (and nanoBench's code generator, which must
+recognise the magic pause/resume sequences inside user-provided binary
+code, Section IV-B) uses this module to turn byte buffers back into
+:class:`~repro.x86.instructions.Program` objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from ..errors import DecodingError
+from .encoder import (
+    MAGIC_PAUSE,
+    MAGIC_RESUME,
+    _HEADER,
+    mnemonic_table,
+    register_table,
+)
+from .instructions import Instruction, Program
+from .operands import Immediate, MemoryOperand, Register
+
+_TAG_REG = 0
+_TAG_IMM = 1
+_TAG_MEM = 2
+
+
+def _decode_operand(data: bytes, pos: int):
+    tag = data[pos]
+    if tag == _TAG_REG:
+        (reg_id,) = struct.unpack_from("<H", data, pos + 1)
+        return Register(register_table()[reg_id]), pos + 3
+    if tag == _TAG_IMM:
+        width, value = struct.unpack_from("<Bq", data, pos + 1)
+        return Immediate(value, width=width), pos + 10
+    if tag == _TAG_MEM:
+        flags, base_id, index_id, scale, disp, size = struct.unpack_from(
+            "<BHHBqB", data, pos + 1
+        )
+        base = Register(register_table()[base_id]) if flags & 1 else None
+        index = Register(register_table()[index_id]) if flags & 2 else None
+        return (
+            MemoryOperand(base, index, scale, disp, size),
+            pos + 16,
+        )
+    raise DecodingError("unknown operand tag %d at offset %d" % (tag, pos))
+
+
+def decode_instruction(data: bytes, pos: int = 0):
+    """Decode one instruction at *pos*; return ``(instruction, next_pos)``.
+
+    Magic pause/resume sequences decode to their pseudo-instructions.
+    """
+    if data[pos:pos + len(MAGIC_PAUSE)] == MAGIC_PAUSE:
+        return Instruction("PAUSE_COUNTING"), pos + len(MAGIC_PAUSE)
+    if data[pos:pos + len(MAGIC_RESUME)] == MAGIC_RESUME:
+        return Instruction("RESUME_COUNTING"), pos + len(MAGIC_RESUME)
+    total = data[pos]
+    if total < 5 or pos + total > len(data):
+        raise DecodingError("truncated instruction at offset %d" % (pos,))
+    cursor = pos + 1
+    header = data[cursor]
+    if header != _HEADER:
+        raise DecodingError("bad instruction header at offset %d" % (pos,))
+    (mnemonic_id,) = struct.unpack_from("<H", data, cursor + 1)
+    try:
+        mnemonic = mnemonic_table()[mnemonic_id]
+    except IndexError:
+        raise DecodingError("unknown mnemonic id %d" % (mnemonic_id,))
+    cursor += 3
+    target_len = data[cursor]
+    cursor += 1
+    target = data[cursor:cursor + target_len].decode("ascii") or None
+    cursor += target_len
+    n_operands = data[cursor]
+    cursor += 1
+    operands = []
+    for _ in range(n_operands):
+        operand, cursor = _decode_operand(data, cursor)
+        operands.append(operand)
+    if cursor != pos + total:
+        raise DecodingError(
+            "instruction length mismatch at offset %d" % (pos,)
+        )
+    return Instruction(mnemonic, tuple(operands), target=target), cursor
+
+
+def decode_program(data: bytes) -> Program:
+    """Decode a full byte buffer to a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    pos = 0
+    while pos < len(data):
+        if (
+            data[pos] == 0
+            and data[pos:pos + len(MAGIC_PAUSE)] != MAGIC_PAUSE
+            and data[pos:pos + len(MAGIC_RESUME)] != MAGIC_RESUME
+        ):
+            # Label definition record.
+            if pos + 2 > len(data):
+                raise DecodingError("truncated label at offset %d" % (pos,))
+            name_len = data[pos + 1]
+            name = data[pos + 2:pos + 2 + name_len].decode("ascii")
+            if name in labels:
+                raise DecodingError("duplicate label: %r" % (name,))
+            labels[name] = len(instructions)
+            pos += 2 + name_len
+            continue
+        instruction, pos = decode_instruction(data, pos)
+        instructions.append(instruction)
+    return Program(tuple(instructions), labels)

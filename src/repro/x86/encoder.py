@@ -1,0 +1,131 @@
+"""Machine-code encoder for the supported instruction subset.
+
+nanoBench accepts microbenchmarks either as Intel-syntax assembly or as
+"the name of a binary file containing x86 machine code" (Section III-E),
+and its pause/resume-counting feature works by scanning the machine code
+for *magic byte sequences* which are replaced by counter-reading code at
+code-generation time (Sections III-I and IV-B).
+
+The real tool relies on the hardware decoder; this reproduction defines a
+compact, documented, unambiguous byte format (tag-length-value, little-
+endian) that round-trips through :mod:`repro.x86.decoder`.  It is not the
+genuine x86 encoding — the simulated front end decodes it instead — but
+it preserves the property the paper uses: microbenchmarks are byte
+buffers, magic sequences included, written into an executable region.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..errors import EncodingError
+from .instructions import INSTRUCTION_SET, Instruction, Program
+from .operands import Immediate, MemoryOperand, Register
+
+#: Magic byte sequences for pausing/resuming performance counting
+#: (Section III-I).  Chosen to start with an illegal-opcode pattern so
+#: they can never collide with an encoded instruction (whose first byte
+#: is a length >= 4 but the full header differs via the 0xNB marker).
+MAGIC_PAUSE = bytes((0x0F, 0x0B, 0x6E, 0x62, 0x70))   # ud2 'n' 'b' 'p'
+MAGIC_RESUME = bytes((0x0F, 0x0B, 0x6E, 0x62, 0x72))  # ud2 'n' 'b' 'r'
+
+_HEADER = 0xAB  # single-byte instruction marker
+
+_MNEMONICS: Tuple[str, ...] = tuple(sorted(INSTRUCTION_SET))
+_MNEMONIC_IDS: Dict[str, int] = {m: i for i, m in enumerate(_MNEMONICS)}
+
+_TAG_REG = 0
+_TAG_IMM = 1
+_TAG_MEM = 2
+
+# Stable register numbering shared with the decoder.
+from .registers import REGISTER_VIEWS  # noqa: E402
+
+_REGISTERS: Tuple[str, ...] = tuple(sorted(REGISTER_VIEWS))
+_REGISTER_IDS: Dict[str, int] = {r: i for i, r in enumerate(_REGISTERS)}
+
+
+def mnemonic_table() -> Tuple[str, ...]:
+    """The stable mnemonic numbering used by the encoding."""
+    return _MNEMONICS
+
+
+def register_table() -> Tuple[str, ...]:
+    """The stable register numbering used by the encoding."""
+    return _REGISTERS
+
+
+def _encode_operand(op) -> bytes:
+    if isinstance(op, Register):
+        return struct.pack("<BH", _TAG_REG, _REGISTER_IDS[op.name])
+    if isinstance(op, Immediate):
+        return struct.pack("<BBq", _TAG_IMM, op.width, op.value)
+    if isinstance(op, MemoryOperand):
+        flags = (1 if op.base else 0) | (2 if op.index else 0)
+        base_id = _REGISTER_IDS[op.base.name] if op.base else 0
+        index_id = _REGISTER_IDS[op.index.name] if op.index else 0
+        return struct.pack(
+            "<BBHHBqB", _TAG_MEM, flags, base_id, index_id,
+            op.scale, op.displacement, op.size,
+        )
+    raise EncodingError("cannot encode operand: %r" % (op,))
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one instruction to bytes.
+
+    Pseudo-instructions encode to their magic byte sequences, exactly as
+    a user of the real tool would splice them into the code buffer.
+    """
+    if instr.mnemonic == "PAUSE_COUNTING":
+        return MAGIC_PAUSE
+    if instr.mnemonic == "RESUME_COUNTING":
+        return MAGIC_RESUME
+    body = bytearray()
+    body += struct.pack("<BH", _HEADER, _MNEMONIC_IDS[instr.mnemonic])
+    target = instr.target or ""
+    target_bytes = target.encode("ascii")
+    if len(target_bytes) > 255:
+        raise EncodingError("branch target too long: %r" % (target,))
+    body += struct.pack("<B", len(target_bytes))
+    body += target_bytes
+    body += struct.pack("<B", len(instr.operands))
+    for op in instr.operands:
+        body += _encode_operand(op)
+    # Prefix with total length so the decoder can skip without parsing.
+    if len(body) + 1 > 255:
+        raise EncodingError("instruction too long: %s" % (instr,))
+    return struct.pack("<B", len(body) + 1) + bytes(body)
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a program; labels become explicit definition records.
+
+    A label record is ``0x00 <len> <name>`` (length byte 0 distinguishes
+    it from an instruction, whose length is always >= 5).
+    """
+    by_index: Dict[int, List[str]] = {}
+    for name, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(name)
+    out = bytearray()
+
+    def emit_labels(idx: int) -> None:
+        for name in sorted(by_index.get(idx, ())):
+            encoded = name.encode("ascii")
+            if len(encoded) > 255:
+                raise EncodingError("label too long: %r" % (name,))
+            out.append(0)
+            out.append(len(encoded))
+            out.extend(encoded)
+
+    for i, instr in enumerate(program.instructions):
+        emit_labels(i)
+        out += encode_instruction(instr)
+    emit_labels(len(program.instructions))
+    return bytes(out)
+
+
+def contains_magic_sequences(code: bytes) -> bool:
+    """Whether *code* contains pause/resume magic sequences."""
+    return MAGIC_PAUSE in code or MAGIC_RESUME in code

@@ -1,0 +1,798 @@
+"""Functional semantics for the supported x86 subset.
+
+Each supported mnemonic has an executor ``_exec_<name>(ctx, instr)`` that
+updates architectural state through an :class:`ExecutionContext`.  The
+context abstracts the machine a benchmark runs on: the simulated core
+provides one backed by the cache hierarchy, the PMU, and the privilege
+model, so that e.g. ``RDMSR`` faults in user mode and ``WBINVD`` really
+flushes the simulated caches.
+
+Executors return ``None`` to fall through, or a label name to branch to.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from ..errors import ExecutionError, PrivilegeError
+from .instructions import CONDITION_FLAGS, Instruction
+from .operands import Immediate, MemoryOperand, Register
+from .registers import RegisterFile
+
+
+class ExecutionContext(Protocol):
+    """Machine interface the executors run against."""
+
+    regs: RegisterFile
+
+    def read_memory(self, address: int, size: int) -> int: ...
+
+    def write_memory(self, address: int, size: int, value: int) -> None: ...
+
+    def is_kernel_mode(self) -> bool: ...
+
+    def rdmsr(self, index: int) -> int: ...
+
+    def wrmsr(self, index: int, value: int) -> None: ...
+
+    def rdpmc(self, index: int) -> int: ...
+
+    def rdtsc(self) -> int: ...
+
+    def cpuid(self, eax: int, ecx: int) -> Tuple[int, int, int, int]: ...
+
+    def wbinvd(self) -> None: ...
+
+    def clflush(self, address: int) -> None: ...
+
+    def prefetch(self, address: int, level: int) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# Operand access helpers
+# ----------------------------------------------------------------------
+
+def effective_address(ctx: ExecutionContext, mem: MemoryOperand) -> int:
+    """Compute the virtual address a memory operand refers to."""
+    address = mem.displacement
+    if mem.base is not None:
+        address += ctx.regs.read(mem.base.base)
+    if mem.index is not None:
+        address += ctx.regs.read(mem.index.base) * mem.scale
+    return address & ((1 << 64) - 1)
+
+
+def read_operand(ctx: ExecutionContext, op) -> int:
+    if isinstance(op, Register):
+        return ctx.regs.read(op.name)
+    if isinstance(op, Immediate):
+        return op.value & ((1 << 64) - 1)
+    if isinstance(op, MemoryOperand):
+        return ctx.read_memory(effective_address(ctx, op), op.size)
+    raise ExecutionError("cannot read operand: %r" % (op,))
+
+
+def write_operand(ctx: ExecutionContext, op, value: int) -> None:
+    if isinstance(op, Register):
+        ctx.regs.write(op.name, value)
+        return
+    if isinstance(op, MemoryOperand):
+        ctx.write_memory(effective_address(ctx, op), op.size, value)
+        return
+    raise ExecutionError("cannot write operand: %r" % (op,))
+
+
+def _operand_width(instr: Instruction, position: int = 0) -> int:
+    """Width in bits of the operand at *position* (falls back over all)."""
+    ops = instr.operands
+    if position < len(ops):
+        op = ops[position]
+        if isinstance(op, Register):
+            return op.width
+        if isinstance(op, MemoryOperand):
+            return op.size * 8
+    for op in ops:
+        if isinstance(op, Register):
+            return op.width
+        if isinstance(op, MemoryOperand):
+            return op.size * 8
+    return 64
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _to_signed(value: int, width: int) -> int:
+    value &= _mask(width)
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def _parity(value: int) -> bool:
+    """PF: even parity of the least-significant byte."""
+    return bin(value & 0xFF).count("1") % 2 == 0
+
+
+# ----------------------------------------------------------------------
+# Flag updates
+# ----------------------------------------------------------------------
+
+def _set_logic_flags(regs: RegisterFile, result: int, width: int) -> None:
+    regs.write_flag("CF", False)
+    regs.write_flag("OF", False)
+    regs.write_flag("AF", False)
+    regs.write_flag("ZF", (result & _mask(width)) == 0)
+    regs.write_flag("SF", bool(result & (1 << (width - 1))))
+    regs.write_flag("PF", _parity(result))
+
+
+def _set_add_flags(regs, a: int, b: int, carry_in: int, width: int) -> int:
+    raw = a + b + carry_in
+    result = raw & _mask(width)
+    regs.write_flag("CF", raw > _mask(width))
+    sa, sb = _to_signed(a, width), _to_signed(b, width)
+    signed = sa + sb + carry_in
+    regs.write_flag("OF", not -(1 << (width - 1)) <= signed < (1 << (width - 1)))
+    regs.write_flag("AF", ((a & 0xF) + (b & 0xF) + carry_in) > 0xF)
+    regs.write_flag("ZF", result == 0)
+    regs.write_flag("SF", bool(result & (1 << (width - 1))))
+    regs.write_flag("PF", _parity(result))
+    return result
+
+
+def _set_sub_flags(regs, a: int, b: int, borrow_in: int, width: int) -> int:
+    raw = a - b - borrow_in
+    result = raw & _mask(width)
+    regs.write_flag("CF", raw < 0)
+    sa, sb = _to_signed(a, width), _to_signed(b, width)
+    signed = sa - sb - borrow_in
+    regs.write_flag("OF", not -(1 << (width - 1)) <= signed < (1 << (width - 1)))
+    regs.write_flag("AF", ((a & 0xF) - (b & 0xF) - borrow_in) < 0)
+    regs.write_flag("ZF", result == 0)
+    regs.write_flag("SF", bool(result & (1 << (width - 1))))
+    regs.write_flag("PF", _parity(result))
+    return result
+
+
+def _condition_holds(regs: RegisterFile, cc: str) -> bool:
+    cf = regs.read_flag("CF")
+    zf = regs.read_flag("ZF")
+    sf = regs.read_flag("SF")
+    of = regs.read_flag("OF")
+    pf = regs.read_flag("PF")
+    table = {
+        "O": of, "NO": not of,
+        "B": cf, "C": cf, "NAE": cf,
+        "AE": not cf, "NB": not cf, "NC": not cf,
+        "E": zf, "Z": zf,
+        "NE": not zf, "NZ": not zf,
+        "BE": cf or zf, "NA": cf or zf,
+        "A": not (cf or zf), "NBE": not (cf or zf),
+        "S": sf, "NS": not sf,
+        "P": pf, "NP": not pf,
+        "L": sf != of, "NGE": sf != of,
+        "GE": sf == of, "NL": sf == of,
+        "LE": zf or (sf != of), "NG": zf or (sf != of),
+        "G": not zf and sf == of, "NLE": not zf and sf == of,
+    }
+    return table[cc]
+
+
+# ----------------------------------------------------------------------
+# Vector lane helpers
+# ----------------------------------------------------------------------
+
+def _lanes(value: int, total_bits: int, lane_bits: int):
+    count = total_bits // lane_bits
+    return [(value >> (i * lane_bits)) & _mask(lane_bits) for i in range(count)]
+
+
+def _pack_lanes(lanes, lane_bits: int) -> int:
+    value = 0
+    for i, lane in enumerate(lanes):
+        value |= (lane & _mask(lane_bits)) << (i * lane_bits)
+    return value
+
+
+def _float_from_bits(bits: int, lane_bits: int) -> float:
+    fmt = "<f" if lane_bits == 32 else "<d"
+    packer = "<I" if lane_bits == 32 else "<Q"
+    return struct.unpack(fmt, struct.pack(packer, bits))[0]
+
+
+def _float_to_bits(value: float, lane_bits: int) -> int:
+    fmt = "<f" if lane_bits == 32 else "<d"
+    packer = "<I" if lane_bits == 32 else "<Q"
+    try:
+        return struct.unpack(packer, struct.pack(fmt, value))[0]
+    except (OverflowError, ValueError):
+        # Overflow to infinity of the right sign.
+        inf = math.inf if value > 0 else -math.inf
+        return struct.unpack(packer, struct.pack(fmt, inf))[0]
+
+
+def _vector_int_op(ctx, instr, lane_bits: int, fn) -> None:
+    """Lane-wise integer op; supports 2-operand SSE and 3-operand AVX."""
+    dst = instr.operands[0]
+    width = _operand_width(instr, 0)
+    if len(instr.operands) == 3:
+        a = read_operand(ctx, instr.operands[1])
+        b = read_operand(ctx, instr.operands[2])
+    else:
+        a = read_operand(ctx, dst)
+        b = read_operand(ctx, instr.operands[1])
+    lanes_a = _lanes(a, width, lane_bits)
+    lanes_b = _lanes(b, width, lane_bits)
+    result = [fn(x, y) & _mask(lane_bits) for x, y in zip(lanes_a, lanes_b)]
+    write_operand(ctx, dst, _pack_lanes(result, lane_bits))
+
+
+def _vector_float_op(ctx, instr, lane_bits: int, fn, scalar: bool = False) -> None:
+    dst = instr.operands[0]
+    width = _operand_width(instr, 0)
+    if len(instr.operands) == 3:
+        a = read_operand(ctx, instr.operands[1])
+        b = read_operand(ctx, instr.operands[2])
+    else:
+        a = read_operand(ctx, dst)
+        b = read_operand(ctx, instr.operands[1])
+    lanes_a = _lanes(a, width, lane_bits)
+    lanes_b = _lanes(b, width, lane_bits)
+    result = []
+    for i, (x, y) in enumerate(zip(lanes_a, lanes_b)):
+        if scalar and i > 0:
+            result.append(x)
+            continue
+        fx, fy = _float_from_bits(x, lane_bits), _float_from_bits(y, lane_bits)
+        try:
+            value = fn(fx, fy)
+        except ZeroDivisionError:
+            value = math.inf if fx > 0 else (-math.inf if fx < 0 else math.nan)
+        result.append(_float_to_bits(value, lane_bits))
+    write_operand(ctx, dst, _pack_lanes(result, lane_bits))
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+Executor = Callable[[ExecutionContext, Instruction], Optional[str]]
+_EXECUTORS: Dict[str, Executor] = {}
+
+
+def _register(*mnemonics: str):
+    def wrap(fn: Executor) -> Executor:
+        for mnemonic in mnemonics:
+            _EXECUTORS[mnemonic] = fn
+        return fn
+    return wrap
+
+
+@_register("MOV", "MOVQ", "MOVD", "MOVAPS", "MOVAPD", "MOVDQA", "MOVDQU",
+           "MOVUPS", "VMOVAPS", "VMOVDQA", "VMOVDQU")
+def _exec_mov(ctx, instr):
+    value = read_operand(ctx, instr.operands[1])
+    write_operand(ctx, instr.operands[0], value)
+
+
+@_register("MOVZX")
+def _exec_movzx(ctx, instr):
+    write_operand(ctx, instr.operands[0], read_operand(ctx, instr.operands[1]))
+
+
+@_register("MOVSX", "MOVSXD")
+def _exec_movsx(ctx, instr):
+    src = instr.operands[1]
+    src_width = _operand_width(instr, 1)
+    value = _to_signed(read_operand(ctx, src), src_width)
+    width = _operand_width(instr, 0)
+    write_operand(ctx, instr.operands[0], value & _mask(width))
+
+
+@_register("LEA")
+def _exec_lea(ctx, instr):
+    mem = instr.operands[1]
+    if not isinstance(mem, MemoryOperand):
+        raise ExecutionError("LEA needs a memory source")
+    width = _operand_width(instr, 0)
+    write_operand(ctx, instr.operands[0], effective_address(ctx, mem) & _mask(width))
+
+
+@_register("XCHG")
+def _exec_xchg(ctx, instr):
+    a, b = instr.operands
+    va, vb = read_operand(ctx, a), read_operand(ctx, b)
+    write_operand(ctx, a, vb)
+    write_operand(ctx, b, va)
+
+
+@_register("PUSH")
+def _exec_push(ctx, instr):
+    rsp = (ctx.regs.read("RSP") - 8) & _mask(64)
+    ctx.regs.write("RSP", rsp)
+    ctx.write_memory(rsp, 8, read_operand(ctx, instr.operands[0]))
+
+
+@_register("POP")
+def _exec_pop(ctx, instr):
+    rsp = ctx.regs.read("RSP")
+    write_operand(ctx, instr.operands[0], ctx.read_memory(rsp, 8))
+    ctx.regs.write("RSP", (rsp + 8) & _mask(64))
+
+
+@_register("ADD")
+def _exec_add(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    b = read_operand(ctx, instr.operands[1]) & _mask(width)
+    write_operand(ctx, instr.operands[0], _set_add_flags(ctx.regs, a, b, 0, width))
+
+
+@_register("ADC")
+def _exec_adc(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    b = read_operand(ctx, instr.operands[1]) & _mask(width)
+    carry = int(ctx.regs.read_flag("CF"))
+    write_operand(ctx, instr.operands[0], _set_add_flags(ctx.regs, a, b, carry, width))
+
+
+@_register("SUB")
+def _exec_sub(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    b = read_operand(ctx, instr.operands[1]) & _mask(width)
+    write_operand(ctx, instr.operands[0], _set_sub_flags(ctx.regs, a, b, 0, width))
+
+
+@_register("SBB")
+def _exec_sbb(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    b = read_operand(ctx, instr.operands[1]) & _mask(width)
+    borrow = int(ctx.regs.read_flag("CF"))
+    write_operand(ctx, instr.operands[0], _set_sub_flags(ctx.regs, a, b, borrow, width))
+
+
+@_register("CMP")
+def _exec_cmp(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    b = read_operand(ctx, instr.operands[1]) & _mask(width)
+    _set_sub_flags(ctx.regs, a, b, 0, width)
+
+
+@_register("NEG")
+def _exec_neg(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    result = _set_sub_flags(ctx.regs, 0, a, 0, width)
+    ctx.regs.write_flag("CF", a != 0)
+    write_operand(ctx, instr.operands[0], result)
+
+
+@_register("INC")
+def _exec_inc(ctx, instr):
+    width = _operand_width(instr)
+    cf = ctx.regs.read_flag("CF")
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    result = _set_add_flags(ctx.regs, a, 1, 0, width)
+    ctx.regs.write_flag("CF", cf)  # INC preserves CF
+    write_operand(ctx, instr.operands[0], result)
+
+
+@_register("DEC")
+def _exec_dec(ctx, instr):
+    width = _operand_width(instr)
+    cf = ctx.regs.read_flag("CF")
+    a = read_operand(ctx, instr.operands[0]) & _mask(width)
+    result = _set_sub_flags(ctx.regs, a, 1, 0, width)
+    ctx.regs.write_flag("CF", cf)  # DEC preserves CF
+    write_operand(ctx, instr.operands[0], result)
+
+
+def _logic(fn):
+    def execute(ctx, instr):
+        width = _operand_width(instr)
+        a = read_operand(ctx, instr.operands[0]) & _mask(width)
+        b = read_operand(ctx, instr.operands[1]) & _mask(width)
+        result = fn(a, b) & _mask(width)
+        _set_logic_flags(ctx.regs, result, width)
+        if instr.mnemonic != "TEST":
+            write_operand(ctx, instr.operands[0], result)
+    return execute
+
+
+_EXECUTORS["AND"] = _logic(lambda a, b: a & b)
+_EXECUTORS["OR"] = _logic(lambda a, b: a | b)
+_EXECUTORS["XOR"] = _logic(lambda a, b: a ^ b)
+_EXECUTORS["TEST"] = _logic(lambda a, b: a & b)
+
+
+@_register("NOT")
+def _exec_not(ctx, instr):
+    width = _operand_width(instr)
+    a = read_operand(ctx, instr.operands[0])
+    write_operand(ctx, instr.operands[0], ~a & _mask(width))
+
+
+def _shift(direction: str):
+    def execute(ctx, instr):
+        width = _operand_width(instr)
+        a = read_operand(ctx, instr.operands[0]) & _mask(width)
+        count = read_operand(ctx, instr.operands[1]) & (0x3F if width == 64 else 0x1F)
+        if count == 0:
+            return
+        if direction == "SHL":
+            result = (a << count) & _mask(width)
+            carry = bool((a >> (width - count)) & 1) if count <= width else False
+        elif direction == "SHR":
+            result = a >> count
+            carry = bool((a >> (count - 1)) & 1)
+        else:  # SAR
+            signed = _to_signed(a, width)
+            result = (signed >> count) & _mask(width)
+            carry = bool((signed >> (count - 1)) & 1)
+        ctx.regs.write_flag("CF", carry)
+        ctx.regs.write_flag("ZF", result == 0)
+        ctx.regs.write_flag("SF", bool(result & (1 << (width - 1))))
+        ctx.regs.write_flag("PF", _parity(result))
+        ctx.regs.write_flag("OF", False)
+        write_operand(ctx, instr.operands[0], result)
+    return execute
+
+
+_EXECUTORS["SHL"] = _shift("SHL")
+_EXECUTORS["SHR"] = _shift("SHR")
+_EXECUTORS["SAR"] = _shift("SAR")
+
+
+def _rotate(direction: str):
+    def execute(ctx, instr):
+        width = _operand_width(instr)
+        a = read_operand(ctx, instr.operands[0]) & _mask(width)
+        count = read_operand(ctx, instr.operands[1]) % width
+        if count:
+            if direction == "ROL":
+                result = ((a << count) | (a >> (width - count))) & _mask(width)
+                ctx.regs.write_flag("CF", bool(result & 1))
+            else:
+                result = ((a >> count) | (a << (width - count))) & _mask(width)
+                ctx.regs.write_flag("CF", bool(result & (1 << (width - 1))))
+            write_operand(ctx, instr.operands[0], result)
+    return execute
+
+
+_EXECUTORS["ROL"] = _rotate("ROL")
+_EXECUTORS["ROR"] = _rotate("ROR")
+
+
+@_register("IMUL")
+def _exec_imul(ctx, instr):
+    width = _operand_width(instr)
+    if len(instr.operands) == 1:
+        a = _to_signed(ctx.regs.read("RAX"), width)
+        b = _to_signed(read_operand(ctx, instr.operands[0]), width)
+        product = a * b
+        ctx.regs.write("RAX", product & _mask(width))
+        ctx.regs.write("RDX", (product >> width) & _mask(width))
+    else:
+        dst = instr.operands[0]
+        if len(instr.operands) == 2:
+            a = _to_signed(read_operand(ctx, dst), width)
+            b = _to_signed(read_operand(ctx, instr.operands[1]), width)
+        else:
+            a = _to_signed(read_operand(ctx, instr.operands[1]), width)
+            b = _to_signed(read_operand(ctx, instr.operands[2]), width)
+        product = a * b
+        write_operand(ctx, dst, product & _mask(width))
+    overflow = not -(1 << (width - 1)) <= product < (1 << (width - 1))
+    ctx.regs.write_flag("CF", overflow)
+    ctx.regs.write_flag("OF", overflow)
+
+
+@_register("MUL")
+def _exec_mul(ctx, instr):
+    width = _operand_width(instr)
+    a = ctx.regs.read("RAX") & _mask(width)
+    b = read_operand(ctx, instr.operands[0]) & _mask(width)
+    product = a * b
+    ctx.regs.write("RAX", product & _mask(width))
+    ctx.regs.write("RDX", (product >> width) & _mask(width))
+    high = product >> width
+    ctx.regs.write_flag("CF", high != 0)
+    ctx.regs.write_flag("OF", high != 0)
+
+
+@_register("DIV")
+def _exec_div(ctx, instr):
+    width = _operand_width(instr)
+    divisor = read_operand(ctx, instr.operands[0]) & _mask(width)
+    if divisor == 0:
+        raise ExecutionError("DIV by zero")
+    dividend = (ctx.regs.read("RDX") << width) | (ctx.regs.read("RAX") & _mask(width))
+    quotient, remainder = divmod(dividend, divisor)
+    if quotient > _mask(width):
+        raise ExecutionError("DIV overflow")
+    ctx.regs.write("RAX", quotient)
+    ctx.regs.write("RDX", remainder)
+
+
+@_register("IDIV")
+def _exec_idiv(ctx, instr):
+    width = _operand_width(instr)
+    divisor = _to_signed(read_operand(ctx, instr.operands[0]), width)
+    if divisor == 0:
+        raise ExecutionError("IDIV by zero")
+    dividend = _to_signed(
+        (ctx.regs.read("RDX") << width) | (ctx.regs.read("RAX") & _mask(width)),
+        2 * width,
+    )
+    quotient = int(dividend / divisor)
+    remainder = dividend - quotient * divisor
+    if not -(1 << (width - 1)) <= quotient < (1 << (width - 1)):
+        raise ExecutionError("IDIV overflow")
+    ctx.regs.write("RAX", quotient & _mask(width))
+    ctx.regs.write("RDX", remainder & _mask(width))
+
+
+@_register("BSF")
+def _exec_bsf(ctx, instr):
+    width = _operand_width(instr)
+    src = read_operand(ctx, instr.operands[1]) & _mask(width)
+    ctx.regs.write_flag("ZF", src == 0)
+    if src:
+        write_operand(ctx, instr.operands[0], (src & -src).bit_length() - 1)
+
+
+@_register("BSR")
+def _exec_bsr(ctx, instr):
+    width = _operand_width(instr)
+    src = read_operand(ctx, instr.operands[1]) & _mask(width)
+    ctx.regs.write_flag("ZF", src == 0)
+    if src:
+        write_operand(ctx, instr.operands[0], src.bit_length() - 1)
+
+
+@_register("POPCNT")
+def _exec_popcnt(ctx, instr):
+    width = _operand_width(instr)
+    src = read_operand(ctx, instr.operands[1]) & _mask(width)
+    result = bin(src).count("1")
+    write_operand(ctx, instr.operands[0], result)
+    for flag in ("CF", "OF", "SF", "AF", "PF"):
+        ctx.regs.write_flag(flag, False)
+    ctx.regs.write_flag("ZF", result == 0)
+
+
+def _bit_test(update):
+    def execute(ctx, instr):
+        width = _operand_width(instr)
+        value = read_operand(ctx, instr.operands[0]) & _mask(width)
+        bit = read_operand(ctx, instr.operands[1]) % width
+        ctx.regs.write_flag("CF", bool(value & (1 << bit)))
+        new = update(value, bit)
+        if new is not None:
+            write_operand(ctx, instr.operands[0], new & _mask(width))
+    return execute
+
+
+_EXECUTORS["BT"] = _bit_test(lambda v, b: None)
+_EXECUTORS["BTS"] = _bit_test(lambda v, b: v | (1 << b))
+_EXECUTORS["BTR"] = _bit_test(lambda v, b: v & ~(1 << b))
+
+
+@_register("CDQ")
+def _exec_cdq(ctx, instr):
+    eax = ctx.regs.read("EAX")
+    ctx.regs.write("EDX", 0xFFFFFFFF if eax & (1 << 31) else 0)
+
+
+@_register("CQO")
+def _exec_cqo(ctx, instr):
+    rax = ctx.regs.read("RAX")
+    ctx.regs.write("RDX", _mask(64) if rax & (1 << 63) else 0)
+
+
+@_register("NOP")
+def _exec_nop(ctx, instr):
+    return None
+
+
+@_register("JMP")
+def _exec_jmp(ctx, instr):
+    return instr.target
+
+
+# --- fences / system ----------------------------------------------------
+
+@_register("LFENCE", "MFENCE", "SFENCE")
+def _exec_fence(ctx, instr):
+    return None  # ordering is handled by the timing model
+
+
+@_register("CPUID")
+def _exec_cpuid(ctx, instr):
+    eax, ebx, ecx, edx = ctx.cpuid(ctx.regs.read("EAX"), ctx.regs.read("ECX"))
+    ctx.regs.write("RAX", eax)
+    ctx.regs.write("RBX", ebx)
+    ctx.regs.write("RCX", ecx)
+    ctx.regs.write("RDX", edx)
+
+
+@_register("RDPMC")
+def _exec_rdpmc(ctx, instr):
+    value = ctx.rdpmc(ctx.regs.read("ECX"))
+    ctx.regs.write("RAX", value & _mask(32))
+    ctx.regs.write("RDX", (value >> 32) & _mask(32))
+
+
+@_register("RDMSR")
+def _exec_rdmsr(ctx, instr):
+    if not ctx.is_kernel_mode():
+        raise PrivilegeError("RDMSR requires kernel mode")
+    value = ctx.rdmsr(ctx.regs.read("ECX"))
+    ctx.regs.write("RAX", value & _mask(32))
+    ctx.regs.write("RDX", (value >> 32) & _mask(32))
+
+
+@_register("WRMSR")
+def _exec_wrmsr(ctx, instr):
+    if not ctx.is_kernel_mode():
+        raise PrivilegeError("WRMSR requires kernel mode")
+    value = (ctx.regs.read("EDX") << 32) | ctx.regs.read("EAX")
+    ctx.wrmsr(ctx.regs.read("ECX"), value)
+
+
+@_register("RDTSC")
+def _exec_rdtsc(ctx, instr):
+    value = ctx.rdtsc()
+    ctx.regs.write("RAX", value & _mask(32))
+    ctx.regs.write("RDX", (value >> 32) & _mask(32))
+
+
+@_register("RDTSCP")
+def _exec_rdtscp(ctx, instr):
+    value = ctx.rdtsc()
+    ctx.regs.write("RAX", value & _mask(32))
+    ctx.regs.write("RDX", (value >> 32) & _mask(32))
+    ctx.regs.write("RCX", 0)
+
+
+@_register("WBINVD", "INVD")
+def _exec_wbinvd(ctx, instr):
+    if not ctx.is_kernel_mode():
+        raise PrivilegeError("%s requires kernel mode" % instr.mnemonic)
+    ctx.wbinvd()
+
+
+@_register("CLFLUSH", "CLFLUSHOPT")
+def _exec_clflush(ctx, instr):
+    mem = instr.operands[0]
+    if not isinstance(mem, MemoryOperand):
+        raise ExecutionError("CLFLUSH needs a memory operand")
+    ctx.clflush(effective_address(ctx, mem))
+
+
+@_register("PREFETCHT0", "PREFETCHT1", "PREFETCHT2", "PREFETCHNTA")
+def _exec_prefetch(ctx, instr):
+    mem = instr.operands[0]
+    if not isinstance(mem, MemoryOperand):
+        raise ExecutionError("prefetch needs a memory operand")
+    level = {"PREFETCHT0": 1, "PREFETCHT1": 2, "PREFETCHT2": 3,
+             "PREFETCHNTA": 1}[instr.mnemonic]
+    ctx.prefetch(effective_address(ctx, mem), level)
+
+
+@_register("CLI", "STI", "HLT")
+def _exec_privileged_nop(ctx, instr):
+    if not ctx.is_kernel_mode():
+        raise PrivilegeError("%s requires kernel mode" % instr.mnemonic)
+
+
+@_register("PAUSE_COUNTING", "RESUME_COUNTING")
+def _exec_pseudo(ctx, instr):
+    # Handled by nanoBench's code generator; a raw pseudo reaching the
+    # core is a no-op architecturally.
+    return None
+
+
+# --- vector -------------------------------------------------------------
+
+_EXECUTORS["PXOR"] = lambda c, i: _vector_int_op(c, i, 64, lambda a, b: a ^ b)
+_EXECUTORS["VPXOR"] = _EXECUTORS["PXOR"]
+_EXECUTORS["VXORPS"] = _EXECUTORS["PXOR"]
+_EXECUTORS["PAND"] = lambda c, i: _vector_int_op(c, i, 64, lambda a, b: a & b)
+_EXECUTORS["VPAND"] = _EXECUTORS["PAND"]
+_EXECUTORS["POR"] = lambda c, i: _vector_int_op(c, i, 64, lambda a, b: a | b)
+_EXECUTORS["PADDB"] = lambda c, i: _vector_int_op(c, i, 8, lambda a, b: a + b)
+_EXECUTORS["PADDW"] = lambda c, i: _vector_int_op(c, i, 16, lambda a, b: a + b)
+_EXECUTORS["PADDD"] = lambda c, i: _vector_int_op(c, i, 32, lambda a, b: a + b)
+_EXECUTORS["VPADDD"] = _EXECUTORS["PADDD"]
+_EXECUTORS["PADDQ"] = lambda c, i: _vector_int_op(c, i, 64, lambda a, b: a + b)
+_EXECUTORS["VPADDQ"] = _EXECUTORS["PADDQ"]
+_EXECUTORS["PSUBD"] = lambda c, i: _vector_int_op(c, i, 32, lambda a, b: a - b)
+_EXECUTORS["PMULLD"] = lambda c, i: _vector_int_op(c, i, 32, lambda a, b: a * b)
+
+_EXECUTORS["ADDPS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a + b)
+_EXECUTORS["VADDPS"] = _EXECUTORS["ADDPS"]
+_EXECUTORS["ADDPD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a + b)
+_EXECUTORS["VADDPD"] = _EXECUTORS["ADDPD"]
+_EXECUTORS["SUBPS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a - b)
+_EXECUTORS["SUBPD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a - b)
+_EXECUTORS["MULPS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a * b)
+_EXECUTORS["VMULPS"] = _EXECUTORS["MULPS"]
+_EXECUTORS["MULPD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a * b)
+_EXECUTORS["VMULPD"] = _EXECUTORS["MULPD"]
+_EXECUTORS["DIVPS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a / b)
+_EXECUTORS["DIVPD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a / b)
+_EXECUTORS["ADDSS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a + b, scalar=True)
+_EXECUTORS["ADDSD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a + b, scalar=True)
+_EXECUTORS["MULSS"] = lambda c, i: _vector_float_op(c, i, 32, lambda a, b: a * b, scalar=True)
+_EXECUTORS["MULSD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a * b, scalar=True)
+_EXECUTORS["DIVSD"] = lambda c, i: _vector_float_op(c, i, 64, lambda a, b: a / b, scalar=True)
+_EXECUTORS["SQRTPD"] = lambda c, i: _vector_float_op(
+    c, i, 64, lambda a, b: math.sqrt(b) if b >= 0 else math.nan)
+_EXECUTORS["SQRTSD"] = lambda c, i: _vector_float_op(
+    c, i, 64, lambda a, b: math.sqrt(b) if b >= 0 else math.nan, scalar=True)
+
+
+def _fma(ctx, instr, lane_bits):
+    dst = instr.operands[0]
+    width = _operand_width(instr, 0)
+    a = read_operand(ctx, dst)
+    b = read_operand(ctx, instr.operands[1])
+    c = read_operand(ctx, instr.operands[2])
+    result = []
+    for la, lb, lc in zip(
+        _lanes(a, width, lane_bits),
+        _lanes(b, width, lane_bits),
+        _lanes(c, width, lane_bits),
+    ):
+        fa = _float_from_bits(la, lane_bits)
+        fb = _float_from_bits(lb, lane_bits)
+        fc = _float_from_bits(lc, lane_bits)
+        result.append(_float_to_bits(fb * fc + fa, lane_bits))
+    write_operand(ctx, dst, _pack_lanes(result, lane_bits))
+
+
+_EXECUTORS["VFMADD231PS"] = lambda c, i: _fma(c, i, 32)
+_EXECUTORS["VFMADD231PD"] = lambda c, i: _fma(c, i, 64)
+
+
+def _conditional(ctx, instr):
+    cc = instr.mnemonic
+    if cc.startswith("CMOV"):
+        if _condition_holds(ctx.regs, cc[4:]):
+            write_operand(ctx, instr.operands[0], read_operand(ctx, instr.operands[1]))
+        return None
+    if cc.startswith("SET"):
+        write_operand(ctx, instr.operands[0], int(_condition_holds(ctx.regs, cc[3:])))
+        return None
+    # Jcc
+    if _condition_holds(ctx.regs, cc[1:]):
+        return instr.target
+    return None
+
+
+for _cc in CONDITION_FLAGS:
+    _EXECUTORS["J%s" % _cc] = _conditional
+    _EXECUTORS["CMOV%s" % _cc] = _conditional
+    _EXECUTORS["SET%s" % _cc] = _conditional
+
+
+def execute(ctx: ExecutionContext, instr: Instruction) -> Optional[str]:
+    """Execute *instr* against *ctx*; return a branch-target label or None."""
+    executor = _EXECUTORS.get(instr.mnemonic)
+    if executor is None:
+        raise ExecutionError("no semantics for %s" % (instr.mnemonic,))
+    return executor(ctx, instr)
+
+
+def supported_mnemonics() -> Tuple[str, ...]:
+    """All mnemonics with functional semantics."""
+    return tuple(sorted(_EXECUTORS))

@@ -1,0 +1,98 @@
+"""Tests for the analysis result datatypes and small tool helpers."""
+
+import pytest
+
+from repro.memory.replacement import DedicatedRange, SetDuelingConfig
+from repro.memory.replacement.adaptive import PselCounter
+from repro.tools.cache.age_graph import AgeGraph
+from repro.tools.cache.set_dueling import SetClassification
+
+
+class TestAgeGraphAnalytics:
+    def _graph(self):
+        graph = AgeGraph(blocks=("B0", "B1"), n_values=(0, 10, 20, 30),
+                         n_sets=16)
+        graph.hits["B0"] = [16, 2, 1, 1]
+        graph.hits["B1"] = [16, 16, 3, 1]
+        return graph
+
+    def test_crossing_point(self):
+        graph = self._graph()
+        assert graph.crossing_point("B0", 8) == 10
+        assert graph.crossing_point("B1", 8) == 20
+        assert graph.crossing_point("B1", 0.5) is None
+
+    def test_plateau_level(self):
+        graph = self._graph()
+        assert graph.plateau_level("B0", tail_points=2) == 1.0
+
+    def test_to_rows(self):
+        rows = self._graph().to_rows()
+        assert rows[0] == [0, 16, 16]
+        assert rows[-1] == [30, 1, 1]
+
+
+class TestSetClassification:
+    def test_dedicated_ranges_merging(self):
+        classification = SetClassification(slice_id=0)
+        for index in (512, 513, 514, 520, 521, 600):
+            classification.labels[index] = "A"
+        classification.labels[515] = "follower"
+        ranges = classification.dedicated_ranges("A")
+        assert ranges == [(512, 514), (520, 521), (600, 600)]
+        assert classification.dedicated_ranges("B") == []
+
+
+class TestDuelingConfig:
+    def test_classify_precedence(self):
+        config = SetDuelingConfig(
+            policy_a="QLRU_H11_M1_R0_U0",
+            policy_b="QLRU_H11_M3_R0_U0",
+            dedicated_a=(DedicatedRange(10, 20),),
+            dedicated_b=(DedicatedRange(30, 40, slices=(1,)),),
+        )
+        assert config.classify(0, 15) == "A"
+        assert config.classify(1, 35) == "B"
+        assert config.classify(0, 35) == "follower"
+        assert config.classify(0, 25) == "follower"
+
+    def test_psel_counter(self):
+        psel = PselCounter(bits=4)
+        assert psel.winner == "B"  # initialised at the midpoint
+        for _ in range(10):
+            psel.miss_in_b()
+        assert psel.winner == "A"
+        assert psel.value == 0  # saturated
+        for _ in range(20):
+            psel.miss_in_a()
+        assert psel.winner == "B"
+        assert psel.value == 15
+
+
+class TestCacheSeqAllSets:
+    def test_all_sets_keyword(self):
+        from repro.core.nanobench import NanoBench
+        from repro.errors import AnalysisError
+        from repro.tools.cache import CacheSeq
+
+        nb = NanoBench.kernel("Skylake", seed=0)
+        nb.resize_r14_buffer(8 << 20)
+        cache_seq = CacheSeq(nb, level=1)
+        result = cache_seq.run("<wbinvd> B0 B0!", sets="all")
+        assert result.hits == cache_seq.n_sets
+        with pytest.raises(AnalysisError):
+            cache_seq.run("<wbinvd> B0!", sets="some")
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "-asm", "add RAX, RAX",
+             "-n_measurements", "2"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "Core cycles: 1.00" in completed.stdout

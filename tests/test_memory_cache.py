@@ -1,0 +1,219 @@
+"""Tests for the cache, slice hashing, and the memory hierarchy."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheGeometry
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.replacement import make_policy
+from repro.memory.slices import SliceHash, intel_slice_hash
+
+
+def _small_cache(policy="LRU", size=4096, assoc=4, slices=1):
+    geometry = CacheGeometry(size, assoc, n_slices=slices)
+    slice_hash = intel_slice_hash(slices) if slices > 1 else None
+    return Cache("T", geometry, make_policy(policy, assoc), slice_hash)
+
+
+class TestCacheGeometry:
+    def test_counts(self):
+        geo = CacheGeometry(32 * 1024, 8)
+        assert geo.n_sets == 64
+        assert geo.offset_bits == 6
+        assert geo.index_bits == 6
+
+    def test_sliced(self):
+        geo = CacheGeometry(4 * 1024 * 1024, 16, n_slices=2)
+        assert geo.n_sets == 2048
+
+    def test_uneven_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 3)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = _small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x1010)  # same line (64-byte granularity)
+
+    def test_set_mapping(self):
+        cache = _small_cache()  # 16 sets
+        slice_id, set_index, tag = cache.locate(0x40)  # line 1
+        assert slice_id == 0 and set_index == 1
+
+    def test_eviction_at_capacity(self):
+        cache = _small_cache(assoc=4)
+        n_sets = cache.geometry.n_sets
+        stride = n_sets * 64
+        addresses = [i * stride for i in range(5)]  # 5 blocks, one set
+        for address in addresses:
+            cache.access(address)
+        # LRU: the first block was evicted by the fifth.
+        assert not cache.probe(addresses[0])
+        assert cache.probe(addresses[4])
+
+    def test_invalidate_line(self):
+        cache = _small_cache()
+        cache.access(0x2000)
+        assert cache.invalidate_line(0x2000)
+        assert not cache.probe(0x2000)
+        assert not cache.invalidate_line(0x2000)
+
+    def test_invalidate_all(self):
+        cache = _small_cache()
+        for i in range(10):
+            cache.access(i * 64)
+        cache.invalidate_all()
+        assert not any(cache.probe(i * 64) for i in range(10))
+
+    def test_stats(self):
+        cache = _small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        stats = cache.total_stats
+        assert stats.lookups == 2 and stats.hits == 1 and stats.misses == 1
+
+    def test_probe_does_not_disturb(self):
+        cache = _small_cache(assoc=2)
+        stride = cache.geometry.n_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        for _ in range(10):
+            cache.probe(0)  # probes must not refresh LRU state
+        cache.access(2 * stride)
+        assert not cache.probe(0)
+
+
+class TestSliceHash:
+    def test_single_slice(self):
+        assert intel_slice_hash(1).slice_of(0x12345678) == 0
+
+    def test_two_slices_balanced(self):
+        hash2 = intel_slice_hash(2)
+        counts = [0, 0]
+        for i in range(4096):
+            counts[hash2.slice_of(i * 64)] += 1
+        assert min(counts) > 1500
+
+    def test_four_slices_balanced(self):
+        hash4 = intel_slice_hash(4)
+        counts = [0] * 4
+        for i in range(8192):
+            counts[hash4.slice_of(i * 4096 + 64)] += 1
+        assert min(counts) > 1200
+
+    def test_same_set_different_slices_exist(self):
+        """The hash uses set-index bits: blocks with equal set index can
+        land in different slices (the Briongos-refutation artefact)."""
+        hash2 = intel_slice_hash(2)
+        seen = set()
+        n_sets = 2048
+        for i in range(512):
+            address = i * (n_sets * 64)  # same set index everywhere
+            seen.add(hash2.slice_of(address))
+        assert seen == {0, 1}
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SliceHash(3, (0x40,))
+        with pytest.raises(ValueError):
+            SliceHash(4, (0x40,))
+        with pytest.raises(ValueError):
+            intel_slice_hash(8)
+
+
+class TestHierarchy:
+    def _build(self, prefetch=False):
+        l1 = _small_cache("PLRU", size=4096, assoc=4)  # 16 sets
+        l2 = _small_cache("PLRU", size=32768, assoc=4)  # 128 sets
+        l3 = _small_cache("QLRU_H11_M1_R0_U0", size=262144, assoc=8,
+                          slices=2)
+        return MemoryHierarchy(l1, l2, l3, prefetcher_enabled=prefetch)
+
+    def test_miss_goes_to_dram_then_hits_l1(self):
+        h = self._build()
+        assert h.access(0x10000).level == 4
+        assert h.access(0x10000).level == 1
+
+    def test_inclusive_fill(self):
+        h = self._build()
+        h.access(0x4000)
+        assert h.l1.probe(0x4000)
+        assert h.l2.probe(0x4000)
+        assert h.l3.probe(0x4000)
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self._build()
+        target = 0x0
+        h.access(target)
+        stride = h.l1.geometry.n_sets * 64
+        # Evict from L1 with same-L1-set accesses that keep L2 sets apart.
+        for i in range(1, 9):
+            h.access(i * stride)
+        result = h.access(target)
+        assert result.level in (2, 3)  # not in L1 anymore
+        assert result.level == 2 or not h.l2.probe(target)
+
+    def test_back_invalidation(self):
+        """Evicting a line from the inclusive L3 removes it from L1/L2."""
+        h = self._build()
+        target = 0x0
+        h.access(target)
+        slice_id, set_index, _ = h.l3.locate(target)
+        # Fill the whole L3 set with conflicting lines.
+        stride = h.l3.geometry.n_sets * 64
+        filled = 0
+        address = stride
+        while filled < 3 * h.l3.geometry.associativity:
+            if h.l3.locate(address)[:2] == (slice_id, set_index):
+                h.access(address)
+                filled += 1
+            address += stride
+        assert not h.l3.probe(target)
+        assert not h.l1.probe(target)
+        assert not h.l2.probe(target)
+
+    def test_wbinvd(self):
+        h = self._build()
+        h.access(0x8000)
+        h.wbinvd()
+        assert h.probe_level(0x8000) == 0
+
+    def test_clflush(self):
+        h = self._build()
+        h.access(0x8000)
+        h.clflush(0x8020)  # same line
+        assert h.probe_level(0x8000) == 0
+
+    def test_demand_counters(self):
+        h = self._build()
+        h.access(0x0)   # DRAM
+        h.access(0x0)   # L1 hit
+        snap = h.demand.snapshot()
+        assert snap["l1_hits"] == 1
+        assert snap["l1_misses"] == 1
+        assert snap["l3_misses"] == 1
+
+    def test_prefetcher_pulls_next_line(self):
+        h = self._build(prefetch=True)
+        h.access(0x0)
+        h.access(0x40)  # sequential -> prefetch 0x80
+        assert h.probe_level(0x80) != 0
+
+    def test_prefetcher_disabled(self):
+        h = self._build(prefetch=False)
+        h.access(0x0)
+        h.access(0x40)
+        assert h.probe_level(0x80) == 0
+
+    def test_prefetch_not_counted_as_demand(self):
+        h = self._build(prefetch=True)
+        h.access(0x0)
+        h.access(0x40)
+        assert h.demand.l1_misses == 2  # the prefetch itself not counted
+
+    def test_latencies(self):
+        h = self._build()
+        assert h.access(0x0).latency == h.memory_latency
+        assert h.access(0x0).latency == h.l1_latency

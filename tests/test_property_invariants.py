@@ -1,0 +1,162 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.replacement import make_policy
+from repro.memory.replacement.qlru import QLRUSpec, meaningful_qlru_specs
+from repro.uarch.ports import SKYLAKE_LAYOUT
+from repro.uarch.scheduler import Scheduler
+from repro.uarch.timing import ComputeUop, InstructionTiming
+from repro.x86.assembler import assemble
+
+# ----------------------------------------------------------------------
+# Scheduler invariants
+# ----------------------------------------------------------------------
+
+_PORT_CLASSES = ["ALU", "MUL", "SHIFT", "LEA", "BRANCH", "VEC_INT"]
+_RESOURCES = ["RAX", "RBX", "RCX", "ZF", "CF"]
+
+
+@st.composite
+def _instruction_stream(draw):
+    stream = []
+    for _ in range(draw(st.integers(1, 25))):
+        cls = draw(st.sampled_from(_PORT_CLASSES))
+        latency = draw(st.integers(1, 5))
+        sources = draw(st.lists(st.sampled_from(_RESOURCES), max_size=2))
+        dests = draw(st.lists(st.sampled_from(_RESOURCES), min_size=1,
+                              max_size=2))
+        stream.append((cls, latency, sources, dests))
+    return stream
+
+
+class TestSchedulerProperties:
+    @given(stream=_instruction_stream())
+    @settings(max_examples=80, deadline=None)
+    def test_clock_is_monotone(self, stream):
+        sched = Scheduler(SKYLAKE_LAYOUT, rng=random.Random(0))
+        last = 0
+        for cls, latency, sources, dests in stream:
+            sched.schedule(
+                InstructionTiming((ComputeUop(cls, latency),)),
+                sources=sources, destinations=dests,
+            )
+            assert sched.now >= last
+            last = sched.now
+
+    @given(stream=_instruction_stream())
+    @settings(max_examples=80, deadline=None)
+    def test_port_counts_match_dispatched_uops(self, stream):
+        sched = Scheduler(SKYLAKE_LAYOUT, rng=random.Random(0))
+        total_dispatched = 0
+        for cls, latency, sources, dests in stream:
+            result = sched.schedule(
+                InstructionTiming((ComputeUop(cls, latency),)),
+                sources=sources, destinations=dests,
+            )
+            total_dispatched += sum(result.dispatched.values())
+        assert sum(sched.port_pressure().values()) == total_dispatched
+        assert total_dispatched == len(stream)  # one µop each
+
+    @given(stream=_instruction_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_dependencies_never_violated(self, stream):
+        """A consumer never completes before its producer."""
+        sched = Scheduler(SKYLAKE_LAYOUT, rng=random.Random(0))
+        ready = {}
+        for cls, latency, sources, dests in stream:
+            result = sched.schedule(
+                InstructionTiming((ComputeUop(cls, latency),)),
+                sources=sources, destinations=dests,
+            )
+            for source in sources:
+                if source in ready:
+                    assert result.complete_cycle >= ready[source]
+            for dest in dests:
+                ready[dest] = result.complete_cycle
+
+    @given(stream=_instruction_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, stream):
+        def run():
+            sched = Scheduler(SKYLAKE_LAYOUT, rng=random.Random(7))
+            times = []
+            for cls, latency, sources, dests in stream:
+                times.append(sched.schedule(
+                    InstructionTiming((ComputeUop(cls, latency),)),
+                    sources=sources, destinations=dests,
+                ).complete_cycle)
+            return times
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# QLRU family invariants
+# ----------------------------------------------------------------------
+
+_QLRU_NAMES = [spec.name for spec in meaningful_qlru_specs()][::24]
+_sequences = st.lists(st.integers(0, 9), min_size=1, max_size=40)
+
+
+@pytest.mark.parametrize("name", _QLRU_NAMES)
+class TestQlruInvariants:
+    @given(blocks=_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_ages_stay_in_range(self, name, blocks):
+        state = make_policy(name, 4).create_set()
+        for block in blocks:
+            state.access(block)
+            for age, tag in zip(state.ages(), state.contents()):
+                if tag is None:
+                    assert age is None
+                else:
+                    assert 0 <= age <= 3
+
+    @given(blocks=_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_hit_promotion_never_increases_age(self, name, blocks):
+        spec = QLRUSpec.parse(name)
+        state = make_policy(name, 4).create_set()
+        for block in blocks:
+            way = state.lookup(block)
+            before = state.ages()[way] if way is not None else None
+            state.access(block)
+            if way is not None and before is not None:
+                # "We assume that the age is always reduced, unless it
+                # is already 0" (pre-normalization; the U update may add
+                # at most the normalization delta afterwards).
+                assert spec.hit_promotion(before) <= before
+
+
+# ----------------------------------------------------------------------
+# Assembler textual round trip
+# ----------------------------------------------------------------------
+
+_ASM_STATEMENTS = st.sampled_from([
+    "mov RAX, RBX",
+    "add R8, 42",
+    "sub EAX, -7",
+    "mov RCX, [R14 + RBX*8 + 128]",
+    "mov byte ptr [RSI], 1",
+    "imul RDX, R9",
+    "xor R10, R10",
+    "lea RAX, [RBX + RCX*2]",
+    "cmovz RAX, RBX",
+    "paddd XMM1, XMM2",
+    "vpaddd YMM1, YMM2, YMM3",
+    "lfence",
+    "clflush [R14]",
+])
+
+
+class TestAssemblerRoundTrip:
+    @given(statements=st.lists(_ASM_STATEMENTS, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_str_reparse_fixpoint(self, statements):
+        program = assemble("; ".join(statements))
+        reparsed = assemble(str(program))
+        assert [str(i) for i in reparsed] == [str(i) for i in program]

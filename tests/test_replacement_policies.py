@@ -1,0 +1,362 @@
+"""Unit and property tests for the replacement-policy implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.replacement import (
+    FIFO,
+    LRU,
+    MRU,
+    MRUSandyBridge,
+    PLRU,
+    PermutationPolicy,
+    QLRU,
+    RandomReplacement,
+    fifo_spec,
+    known_policy_names,
+    lru_spec,
+    make_policy,
+    meaningful_qlru_specs,
+    simulate_hits,
+)
+from repro.memory.replacement.qlru import QLRUSpec
+
+
+def _drive(policy, blocks):
+    """Run a block sequence; return the per-access hit list."""
+    hits = []
+    simulate_hits(policy, blocks, measured=hits)
+    return hits
+
+
+class TestLRU:
+    def test_fill_and_hit(self):
+        state = LRU(4).create_set()
+        for b in range(4):
+            hit, _ = state.access(b)
+            assert not hit
+        assert state.access(0) == (True, None)
+
+    def test_eviction_order(self):
+        state = LRU(4).create_set()
+        for b in range(4):
+            state.access(b)
+        state.access(0)  # 0 is now MRU; LRU is 1
+        hit, evicted = state.access(99)
+        assert not hit and evicted == 1
+
+    def test_classic_thrash(self):
+        # Cyclic access to A+1 blocks: LRU never hits.
+        policy = LRU(4)
+        blocks = [0, 1, 2, 3, 4] * 4
+        assert simulate_hits(policy, blocks) == 0
+
+
+class TestFIFO:
+    def test_hit_does_not_promote(self):
+        state = FIFO(4).create_set()
+        for b in range(4):
+            state.access(b)
+        state.access(0)  # hit; order unchanged
+        hit, evicted = state.access(99)
+        assert not hit and evicted == 0
+
+    def test_differs_from_lru(self):
+        blocks = [0, 1, 2, 3, 0, 4, 0]
+        assert _drive(FIFO(4), blocks) != _drive(LRU(4), blocks)
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PLRU(6).create_set()
+
+    def test_fill_then_first_victim(self):
+        # After sequentially filling an 8-way set, the PLRU tree points
+        # back at way 0.
+        state = PLRU(8).create_set()
+        for b in range(8):
+            state.access(b)
+        _, evicted = state.access(100)
+        assert evicted == 0
+
+    def test_classic_plru_eviction_interleave(self):
+        # Sequential fill then fresh misses evict in the order
+        # 0,4,2,6,1,5,3,7 for an 8-way tree filled left to right.
+        state = PLRU(8).create_set()
+        for b in range(8):
+            state.access(b)
+        evictions = []
+        for fresh in range(100, 108):
+            _, evicted = state.access(fresh)
+            evictions.append(evicted)
+        assert evictions == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_hit_protects(self):
+        state = PLRU(8).create_set()
+        for b in range(8):
+            state.access(b)
+        state.access(0)  # protect 0
+        _, evicted = state.access(100)
+        assert evicted != 0
+
+    def test_matches_lru_on_assoc_2(self):
+        # For associativity 2, PLRU and LRU coincide.
+        rng = random.Random(0)
+        for _ in range(50):
+            blocks = [rng.randrange(5) for _ in range(30)]
+            assert _drive(PLRU(2), blocks) == _drive(LRU(2), blocks)
+
+
+class TestMRU:
+    def test_protocol(self):
+        state = MRU(4).create_set()
+        for b in range(4):
+            state.access(b)
+        # Filling accesses each cleared a bit; clearing the last one
+        # resets the others, so exactly the non-last are 1 again.
+        bits = state.status_bits()
+        assert bits.count(0) == 1
+
+    def test_leftmost_set_bit_replaced(self):
+        state = MRU(4).create_set()
+        for b in range(4):
+            state.access(b)
+        # bits now [1, 1, 1, 0]; victim = way 0.
+        _, evicted = state.access(100)
+        assert evicted == 0
+
+    def test_sandy_bridge_variant_differs_after_wbinvd(self):
+        blocks = list(range(4)) + [0, 99]
+        assert (_drive(MRU(4), blocks) != _drive(MRUSandyBridge(4), blocks)
+                or True)  # sequences may coincide...
+        # ... but a distinguishing sequence must exist:
+        rng = random.Random(1)
+        names = list(range(7))
+        for _ in range(500):
+            seq = [rng.choice(names) for _ in range(16)]
+            if _drive(MRU(4), seq) != _drive(MRUSandyBridge(4), seq):
+                return
+        pytest.fail("MRU and MRU_SB are observationally identical")
+
+
+class TestQLRUNaming:
+    def test_roundtrip(self):
+        for spec in meaningful_qlru_specs():
+            assert QLRUSpec.parse(spec.name) == spec
+
+    def test_probabilistic_name(self):
+        spec = QLRUSpec.parse("QLRU_H11_MR161_R1_U2")
+        assert spec.insert_prob_denominator == 16
+        assert spec.insert_age == 1
+        assert not spec.is_deterministic
+        assert spec.name == "QLRU_H11_MR161_R1_U2"
+
+    def test_umo_suffix(self):
+        spec = QLRUSpec.parse("QLRU_H00_M2_R0_U0_UMO")
+        assert spec.update_on_miss_only
+
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            QLRUSpec.parse("QLRU_H31_M1_R0_U0")
+        with pytest.raises(ValueError):
+            QLRUSpec.parse("LRU")
+
+    def test_r0_with_u2_invalid(self):
+        spec = QLRUSpec(hit_x=0, hit_y=0, insert_age=1,
+                        replace_variant=0, update_variant=2)
+        assert not spec.is_valid
+        with pytest.raises(ValueError):
+            QLRU(8, spec)
+
+    def test_meaningful_variants_all_valid_and_distinct(self):
+        specs = list(meaningful_qlru_specs())
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names)
+        assert all(s.is_valid and s.is_deterministic for s in specs)
+        # R0 excludes U2/U3: 6*4*(3*4 - 2)*2 = 480 combinations.
+        assert len(specs) == 480
+
+
+class TestQLRUBehaviour:
+    def test_srrip_hp_insertion(self):
+        # SRRIP-HP: insert with age 2, replace age-3 blocks.
+        policy = make_policy("QLRU_H00_M2_R0_U0_UMO", 4)
+        state = policy.create_set()
+        for b in range(4):
+            state.access(b)
+        assert state.ages() == [2, 2, 2, 2]
+        # Miss: ages normalize (+1 until an age-3 exists), leftmost
+        # age-3 block replaced.
+        _, evicted = state.access(100)
+        assert evicted == 0
+
+    def test_hit_promotion_h00(self):
+        policy = make_policy("QLRU_H00_M2_R0_U0_UMO", 4)
+        state = policy.create_set()
+        for b in range(4):
+            state.access(b)
+        state.access(1)
+        assert state.ages()[1] == 0
+
+    def test_hit_promotion_h11(self):
+        spec = QLRUSpec.parse("QLRU_H11_M1_R0_U0")
+        assert spec.hit_promotion(3) == 1
+        assert spec.hit_promotion(2) == 1
+        assert spec.hit_promotion(1) == 0
+        assert spec.hit_promotion(0) == 0
+
+    def test_r2_fills_rightmost(self):
+        policy = make_policy("QLRU_H00_M1_R2_U1", 4)
+        state = policy.create_set()
+        state.access(7)
+        assert state.contents()[3] == 7
+
+    def test_r0_fills_leftmost(self):
+        policy = make_policy("QLRU_H00_M1_R0_U1", 4)
+        state = policy.create_set()
+        state.access(7)
+        assert state.contents()[0] == 7
+
+    def test_skylake_l2_vs_cannonlake_l2_distinguishable(self):
+        # Table I: Skylake L2 = ..._R2_U1, Cannon Lake L2 = ..._R0_U1.
+        rng = random.Random(2)
+        a = make_policy("QLRU_H00_M1_R2_U1", 4)
+        b = make_policy("QLRU_H00_M1_R0_U1", 4)
+        for _ in range(500):
+            seq = [rng.randrange(8) for _ in range(14)]
+            if _drive(a, seq) != _drive(b, seq):
+                return
+        pytest.fail("R2 and R0 L2 variants are observationally identical")
+
+    def test_probabilistic_insertion_rate(self):
+        rng = random.Random(3)
+        policy = QLRU(12, QLRUSpec.parse("QLRU_H11_MR161_R1_U2"), rng=rng)
+        low_age_inserts = 0
+        trials = 2000
+        for _ in range(trials):
+            state = policy.create_set()
+            state.access(0)
+            # A rare (1/16) insert with age 1 is bumped to 2 by the U2
+            # update (no age-3 block exists); the common case stays 3.
+            if state.ages()[0] < 3:
+                low_age_inserts += 1
+        assert trials / 16 * 0.6 < low_age_inserts < trials / 16 * 1.6
+
+    def test_invalidate_clears_age(self):
+        policy = make_policy("QLRU_H11_M1_R0_U0", 4)
+        state = policy.create_set()
+        state.access(5)
+        assert state.invalidate(5)
+        assert state.ages()[0] is None
+        assert not state.invalidate(5)
+
+
+class TestPermutationPolicies:
+    def test_lru_spec_equivalent_to_lru(self):
+        rng = random.Random(4)
+        policy = PermutationPolicy(lru_spec(4), name="LRU-as-perm")
+        for _ in range(100):
+            seq = [rng.randrange(7) for _ in range(25)]
+            assert _drive(policy, seq) == _drive(LRU(4), seq)
+
+    def test_fifo_spec_equivalent_to_fifo(self):
+        rng = random.Random(5)
+        policy = PermutationPolicy(fifo_spec(4))
+        for _ in range(100):
+            seq = [rng.randrange(7) for _ in range(25)]
+            assert _drive(policy, seq) == _drive(FIFO(4), seq)
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationPolicy.__init__  # placeholder to keep name used
+            from repro.memory.replacement import PermutationSpec
+            PermutationSpec(
+                hit_permutations=((0, 0),) * 2, miss_permutation=(0, 1)
+            )
+
+
+class TestFactory:
+    def test_make_policy_names(self):
+        for name in ("LRU", "FIFO", "PLRU", "MRU", "MRU_SB", "RANDOM"):
+            assert make_policy(name, 8).name == name
+
+    def test_make_policy_qlru(self):
+        policy = make_policy("QLRU_H11_M1_R0_U0", 16)
+        assert policy.associativity == 16
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("CLOCK", 8)
+
+    def test_known_policy_names_includes_plru_only_for_pow2(self):
+        assert "PLRU" in known_policy_names(8)
+        assert "PLRU" not in known_policy_names(12)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants over every deterministic policy
+# ----------------------------------------------------------------------
+
+_ALL_POLICY_NAMES = ["LRU", "FIFO", "PLRU", "MRU", "MRU_SB",
+                     "QLRU_H11_M1_R0_U0", "QLRU_H00_M1_R2_U1",
+                     "QLRU_H11_M1_R1_U2", "QLRU_H00_M2_R0_U0_UMO"]
+
+_sequences = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=0, max_size=40
+)
+
+
+@pytest.mark.parametrize("name", _ALL_POLICY_NAMES)
+class TestPolicyInvariants:
+    @given(blocks=_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_contents_unique_and_bounded(self, name, blocks):
+        state = make_policy(name, 4).create_set()
+        for block in blocks:
+            state.access(block)
+            present = [t for t in state.contents() if t is not None]
+            assert len(present) <= 4
+            assert len(set(present)) == len(present)
+
+    @given(blocks=_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_accessed_block_is_present(self, name, blocks):
+        state = make_policy(name, 4).create_set()
+        for block in blocks:
+            state.access(block)
+            assert state.lookup(block) is not None
+
+    @given(blocks=_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_hit_iff_present(self, name, blocks):
+        state = make_policy(name, 4).create_set()
+        for block in blocks:
+            present_before = state.lookup(block) is not None
+            hit, evicted = state.access(block)
+            assert hit == present_before
+            if hit:
+                assert evicted is None
+
+    @given(blocks=_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, name, blocks):
+        assert _drive(make_policy(name, 4), blocks) == _drive(
+            make_policy(name, 4), blocks
+        )
+
+    @given(blocks=_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_invalidate_all_resets(self, name, blocks):
+        policy = make_policy(name, 4)
+        state = policy.create_set()
+        for block in blocks:
+            state.access(block)
+        state.invalidate_all()
+        assert all(t is None for t in state.contents())
+        # After reset, behaviour matches a fresh set.
+        fresh = make_policy(name, 4).create_set()
+        for block in blocks:
+            assert state.access(block) == fresh.access(block)

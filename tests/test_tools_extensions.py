@@ -1,0 +1,82 @@
+"""Tests for the future-work tools: TLB and branch-predictor analysis."""
+
+import pytest
+
+from repro.core.nanobench import NanoBench
+from repro.errors import AnalysisError
+from repro.tools.branch import (
+    characterize_predictor,
+    measure_pattern,
+    parse_pattern,
+    simulate_counter_predictor,
+)
+from repro.tools.tlb import measure_miss_rates
+
+
+@pytest.fixture(scope="module")
+def nb():
+    nano = NanoBench.kernel("Skylake", seed=0)
+    nano.resize_r14_buffer(32 << 20)
+    return nano
+
+
+class TestTlbTool:
+    def test_capacity_step(self, nb):
+        """Miss rate steps from ~0 to ~1 at the dTLB capacity (64)."""
+        sweep = measure_miss_rates(nb, [32, 64, 96])
+        assert sweep.miss_rates[32] == pytest.approx(0.0, abs=0.05)
+        assert sweep.miss_rates[64] == pytest.approx(0.0, abs=0.05)
+        assert sweep.miss_rates[96] == pytest.approx(1.0, abs=0.1)
+        assert sweep.capacity_estimate() == 64
+
+    def test_walks_only_beyond_stlb(self, nb):
+        sweep = measure_miss_rates(nb, [96])
+        # 96 pages thrash the dTLB but fit the 1536-entry STLB.
+        assert sweep.walk_rates[96] == pytest.approx(0.0, abs=0.05)
+
+    def test_associativity_via_stride(self, nb):
+        """Stride = set count confines pages to one set: capacity 4."""
+        sweep = measure_miss_rates(nb, [3, 4, 6], page_stride=16)
+        assert sweep.miss_rates[4] == pytest.approx(0.0, abs=0.05)
+        assert sweep.miss_rates[6] == pytest.approx(1.0, abs=0.1)
+        assert sweep.capacity_estimate() == 4
+
+    def test_buffer_size_guard(self, nb):
+        with pytest.raises(AnalysisError):
+            measure_miss_rates(nb, [1 << 16])
+
+
+class TestBranchTool:
+    def test_parse_pattern(self):
+        assert parse_pattern("TnT") == [True, False, True]
+        with pytest.raises(AnalysisError):
+            parse_pattern("TX")
+        with pytest.raises(AnalysisError):
+            parse_pattern("")
+
+    def test_always_taken_never_mispredicts(self, nb):
+        assert measure_pattern(nb, "T", 32) == pytest.approx(0.0, abs=0.02)
+
+    def test_alternating_half_rate(self, nb):
+        assert measure_pattern(nb, "TN", 32) == pytest.approx(0.5, abs=0.05)
+
+    def test_measured_matches_two_bit_model(self, nb):
+        for pattern in ("TTN", "TTNN", "TTTN"):
+            measured = measure_pattern(nb, pattern, 32)
+            model = simulate_counter_predictor(
+                2, parse_pattern(pattern) * 32
+            )
+            assert measured == pytest.approx(model, abs=0.05), pattern
+
+    def test_counter_width_inferred(self, nb):
+        profile = characterize_predictor(nb, repetitions=32)
+        assert profile.inferred_bits == 2
+
+    def test_models_differ_on_patterns(self):
+        """The distinguishing patterns actually separate 1/2/3-bit."""
+        directions = parse_pattern("TTNN") * 64
+        rates = {
+            bits: simulate_counter_predictor(bits, directions)
+            for bits in (1, 2, 3)
+        }
+        assert len(set(round(r, 2) for r in rates.values())) >= 2

@@ -1,0 +1,52 @@
+"""End-to-end tests for the CPU survey tool (the Table I pipeline)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.tools.cache import policies_equivalent, survey_cpu
+
+
+@pytest.fixture(scope="module")
+def skylake_survey():
+    return survey_cpu("Skylake", seed=2, buffer_mb=96)
+
+
+class TestSkylakeSurvey:
+    def test_l1(self, skylake_survey):
+        level = skylake_survey.levels[1]
+        assert level.policy == "PLRU"
+        assert level.method == "permutation inference"
+        assert level.associativity == 8
+
+    def test_l2(self, skylake_survey):
+        level = skylake_survey.levels[2]
+        assert level.policy == "QLRU_H00_M1_R2_U1"
+        assert level.method == "random-sequence identification"
+
+    def test_l3(self, skylake_survey):
+        level = skylake_survey.levels[3]
+        assert level.policy is not None
+        assert policies_equivalent(
+            "QLRU_H11_M1_R0_U0", level.policy, level.associativity
+        )
+
+    def test_metadata(self, skylake_survey):
+        assert skylake_survey.uarch == "Skylake"
+        assert skylake_survey.cpu_model == "Core i7-6500U"
+        assert skylake_survey.levels[2].size_bytes == 256 * 1024
+
+
+class TestAdaptiveSurvey:
+    def test_broadwell_notes(self):
+        survey = survey_cpu("Broadwell", seed=3, buffer_mb=96)
+        note = survey.levels[3].note
+        assert "adaptive" in note
+        assert "QLRU_H11_M1_R0_U0" in note
+        assert "non-deterministic" in note
+
+
+class TestZenRefusal:
+    def test_prefetchers_block_survey(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            survey_cpu("Zen", seed=1)
+        assert "prefetch" in str(excinfo.value)

@@ -1,0 +1,177 @@
+"""Tests for the out-of-order scheduler and branch predictor."""
+
+import random
+
+import pytest
+
+from repro.uarch.ports import SKYLAKE_LAYOUT
+from repro.uarch.scheduler import (
+    BranchPredictor,
+    MemoryAccessPlan,
+    Scheduler,
+)
+from repro.uarch.timing import ComputeUop, InstructionTiming
+
+
+def _alu(latency=1):
+    return InstructionTiming((ComputeUop("ALU", latency),))
+
+
+@pytest.fixture()
+def sched():
+    return Scheduler(SKYLAKE_LAYOUT, rng=random.Random(0))
+
+
+class TestDependencies:
+    def test_dependent_chain_serializes(self, sched):
+        last = 0
+        for _ in range(10):
+            result = sched.schedule(_alu(), sources=["RAX"],
+                                    destinations=["RAX"])
+            assert result.complete_cycle > last
+            last = result.complete_cycle
+        assert last >= 10  # one cycle per link
+
+    def test_independent_ops_overlap(self, sched):
+        regs = ["RAX", "RBX", "RCX", "RDX"]
+        completes = [
+            sched.schedule(_alu(), sources=[r], destinations=[r]).complete_cycle
+            for r in regs
+        ]
+        assert max(completes) <= 2  # all dispatch in the first cycle
+
+    def test_latency_respected(self, sched):
+        first = sched.schedule(
+            InstructionTiming((ComputeUop("MUL", 3),)),
+            sources=["RAX"], destinations=["RAX"],
+        )
+        second = sched.schedule(_alu(), sources=["RAX"], destinations=["RBX"])
+        assert second.complete_cycle >= first.complete_cycle + 1
+        assert first.complete_cycle >= 3
+
+    def test_flag_dependencies(self, sched):
+        sched.schedule(_alu(), sources=["RAX"], destinations=["RAX", "CF"])
+        result = sched.schedule(_alu(), sources=["CF"], destinations=["RBX"])
+        assert result.complete_cycle >= 2
+
+    def test_dependency_breaking(self, sched):
+        sched.schedule(InstructionTiming((ComputeUop("MUL", 10),)),
+                       sources=["RAX"], destinations=["RAX"])
+        zeroing = InstructionTiming((), eliminated=True,
+                                    breaks_dependency=True)
+        result = sched.schedule(zeroing, sources=["RAX"],
+                                destinations=["RAX"])
+        assert result.complete_cycle <= 1  # did not wait for the MUL
+
+
+class TestPorts:
+    def test_port_contention(self, sched):
+        # MUL is restricted to port 1: n back-to-back independent MULs
+        # take n cycles to dispatch.
+        completes = [
+            sched.schedule(InstructionTiming((ComputeUop("MUL", 3),)),
+                           sources=[], destinations=["R%d" % (8 + i)]
+                           ).complete_cycle
+            for i in range(4)
+        ]
+        assert completes[-1] >= 3 + 3  # fourth dispatches at cycle 3
+
+    def test_load_balancing(self, sched):
+        # Loads alternate over ports 2 and 3.
+        for i in range(10):
+            plan = MemoryAccessPlan(64 * i, 4, ("R14",))
+            sched.schedule(InstructionTiming(()), loads=[plan],
+                           destinations=["RAX"])
+        pressure = sched.port_pressure()
+        assert pressure["2"] == 5 and pressure["3"] == 5
+
+    def test_frontend_width_limits_nops(self, sched):
+        eliminated = InstructionTiming((), eliminated=True)
+        result = None
+        for _ in range(40):
+            result = sched.schedule(eliminated)
+        # 40 µops at width 4 -> at least 9 cycles of issue.
+        assert result.complete_cycle >= 9
+
+
+class TestStores:
+    def test_store_to_load_forwarding_order(self, sched):
+        store_plan = MemoryAccessPlan(0x1000, 1, ("R14",), is_store=True)
+        sched.schedule(InstructionTiming(()), sources=["RAX"],
+                       stores=[store_plan])
+        load_plan = MemoryAccessPlan(0x1000, 4, ("R14",))
+        result = sched.schedule(InstructionTiming(()), loads=[load_plan],
+                                destinations=["RBX"])
+        # The load waits for the store's data.
+        assert result.complete_cycle >= 5
+
+    def test_unrelated_load_not_blocked(self, sched):
+        store_plan = MemoryAccessPlan(0x1000, 1, ("R14",), is_store=True)
+        sched.schedule(InstructionTiming(()), sources=["RAX"],
+                       stores=[store_plan])
+        load_plan = MemoryAccessPlan(0x2000, 4, ("R14",))
+        result = sched.schedule(InstructionTiming(()), loads=[load_plan],
+                                destinations=["RBX"])
+        assert result.complete_cycle <= 5
+
+
+class TestFences:
+    def test_lfence_orders(self, sched):
+        sched.schedule(InstructionTiming((ComputeUop("MUL", 20),)),
+                       destinations=["RAX"])
+        fence = InstructionTiming((), is_fence=True, fence_latency=6)
+        fence_result = sched.schedule(fence)
+        assert fence_result.complete_cycle >= 26
+        later = sched.schedule(_alu(), destinations=["RBX"])
+        assert later.complete_cycle > fence_result.complete_cycle
+
+    def test_microcode_variable_uops(self):
+        timing = InstructionTiming(
+            (), microcoded=True, microcode_uops=(10, 50), base_latency=90
+        )
+        counts = set()
+        for seed in range(8):
+            sched = Scheduler(SKYLAKE_LAYOUT, rng=random.Random(seed))
+            result = sched.schedule(timing)
+            counts.add(result.issued_uops)
+        assert len(counts) > 1  # the CPUID effect
+
+    def test_external_delay_advances_clock(self, sched):
+        sched.schedule(_alu())
+        before = sched.now
+        sched.external_delay(1000)
+        assert sched.now == before + 1000
+        after = sched.schedule(_alu())
+        assert after.complete_cycle > before + 1000
+
+
+class TestBranchPredictor:
+    def test_warmup(self):
+        predictor = BranchPredictor()
+        site = "loop"
+        predictor.update(site, False)
+        predictor.update(site, False)
+        assert predictor.predict(site) is False
+        predictor.update(site, True)
+        predictor.update(site, True)
+        assert predictor.predict(site) is True
+
+    def test_mispredict_penalty(self, sched):
+        branch = InstructionTiming((ComputeUop("BRANCH", 1),))
+        # Train taken.
+        for _ in range(4):
+            sched.schedule(branch, branch_site="b", branch_taken=True)
+        trained = sched.schedule(branch, branch_site="b", branch_taken=True)
+        assert not trained.mispredicted
+        surprise = sched.schedule(branch, branch_site="b", branch_taken=False)
+        assert surprise.mispredicted
+        later = sched.schedule(_alu())
+        assert later.complete_cycle >= (
+            surprise.complete_cycle + Scheduler.MISPREDICT_PENALTY
+        )
+
+    def test_reset_clears_state(self, sched):
+        sched.schedule(_alu(), destinations=["RAX"])
+        sched.reset()
+        assert sched.now == 0
+        assert sched.resource_ready_time("RAX") == 0

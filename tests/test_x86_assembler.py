@@ -1,0 +1,115 @@
+"""Unit tests for the Intel-syntax assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.x86.assembler import assemble, parse_statement
+from repro.x86.operands import Immediate, MemoryOperand, Register
+
+
+class TestParseStatement:
+    def test_simple_mov(self):
+        instr = parse_statement("mov R14, [R14]")
+        assert instr.mnemonic == "MOV"
+        assert instr.operands[0] == Register("R14")
+        mem = instr.operands[1]
+        assert isinstance(mem, MemoryOperand)
+        assert mem.base == Register("R14")
+
+    def test_no_operands(self):
+        assert parse_statement("lfence").mnemonic == "LFENCE"
+
+    def test_immediate_decimal_and_hex(self):
+        assert parse_statement("add RAX, 42").operands[1] == Immediate(42)
+        instr = parse_statement("add RAX, 0x2A")
+        assert instr.operands[1].value == 42
+
+    def test_negative_immediate(self):
+        assert parse_statement("add RAX, -1").operands[1].value == -1
+
+    def test_memory_with_index_scale_disp(self):
+        instr = parse_statement("mov RAX, [RBX + RCX*8 + 16]")
+        mem = instr.operands[1]
+        assert mem.base == Register("RBX")
+        assert mem.index == Register("RCX")
+        assert mem.scale == 8
+        assert mem.displacement == 16
+
+    def test_memory_negative_displacement(self):
+        mem = parse_statement("mov RAX, [RBX - 8]").operands[1]
+        assert mem.displacement == -8
+
+    def test_size_prefix(self):
+        mem = parse_statement("mov byte ptr [RBX], 1").operands[0]
+        assert mem.size == 1
+        mem = parse_statement("cmp qword ptr [RBX], 0").operands[0]
+        assert mem.size == 8
+
+    def test_size_inferred_from_register(self):
+        mem = parse_statement("mov EAX, [RBX]").operands[1]
+        assert mem.size == 4
+
+    def test_case_insensitive_mnemonic(self):
+        assert parse_statement("MOV rax, RBX").mnemonic == "MOV"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            parse_statement("frobnicate RAX")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblerError):
+            parse_statement("mov RAX, %%bad")
+
+    def test_branch_target(self):
+        instr = parse_statement("jnz loop_start")
+        assert instr.target == "loop_start"
+        assert instr.operands == ()
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(AssemblerError):
+            parse_statement("mov RAX, [RBX")
+
+
+class TestAssemble:
+    def test_multiple_statements_semicolons(self):
+        prog = assemble("mov RAX, 1; add RAX, RBX; lfence")
+        assert [i.mnemonic for i in prog] == ["MOV", "ADD", "LFENCE"]
+
+    def test_newlines(self):
+        prog = assemble("mov RAX, 1\nadd RAX, 2")
+        assert len(prog) == 2
+
+    def test_comments(self):
+        prog = assemble("mov RAX, 1  # set RAX\n# whole-line comment\nnop")
+        assert len(prog) == 2
+
+    def test_labels(self):
+        prog = assemble("start: dec R15; jnz start")
+        assert prog.labels == {"start": 0}
+
+    def test_label_at_end(self):
+        prog = assemble("jmp done; nop; done:")
+        assert prog.labels["done"] == 2
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("jnz nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop; a: nop")
+
+    def test_empty_source(self):
+        assert len(assemble("")) == 0
+
+    def test_pseudo_instructions(self):
+        prog = assemble("pause_counting; mov RAX, [R14]; resume_counting")
+        assert prog.instructions[0].mnemonic == "PAUSE_COUNTING"
+        assert prog.instructions[2].mnemonic == "RESUME_COUNTING"
+
+    def test_program_str_roundtrip(self):
+        source = "start: dec R15; jnz start"
+        prog = assemble(source)
+        again = assemble(str(prog))
+        assert [str(i) for i in again] == [str(i) for i in prog]
+        assert again.labels == prog.labels

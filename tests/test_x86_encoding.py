@@ -1,0 +1,125 @@
+"""Encoder/decoder round-trip tests, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.x86.assembler import assemble
+from repro.x86.decoder import decode_instruction, decode_program
+from repro.x86.encoder import (
+    MAGIC_PAUSE,
+    MAGIC_RESUME,
+    contains_magic_sequences,
+    encode_instruction,
+    encode_program,
+)
+from repro.errors import DecodingError
+from repro.x86.instructions import Instruction, Program
+from repro.x86.operands import Immediate, MemoryOperand, Register
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [
+        "nop",
+        "mov RAX, RBX",
+        "mov R14, [R14]",
+        "add RAX, 42",
+        "add RAX, -1",
+        "mov byte ptr [RBX + RCX*4 + 8], 7",
+        "vpaddd ZMM1, ZMM2, ZMM3",
+        "lfence; cpuid; rdmsr",
+        "start: dec R15; jnz start",
+    ])
+    def test_assemble_encode_decode(self, source):
+        program = assemble(source)
+        data = encode_program(program)
+        decoded = decode_program(data)
+        assert [str(i) for i in decoded] == [str(i) for i in program]
+        assert decoded.labels == program.labels
+
+    def test_magic_sequences_encode_literally(self):
+        program = assemble("pause_counting; nop; resume_counting")
+        data = encode_program(program)
+        assert MAGIC_PAUSE in data
+        assert MAGIC_RESUME in data
+        assert contains_magic_sequences(data)
+        decoded = decode_program(data)
+        assert decoded.instructions[0].mnemonic == "PAUSE_COUNTING"
+        assert decoded.instructions[2].mnemonic == "RESUME_COUNTING"
+
+    def test_no_magic_in_plain_code(self):
+        data = encode_program(assemble("mov RAX, 1; add RAX, RBX"))
+        assert not contains_magic_sequences(data)
+
+    def test_truncated_data_raises(self):
+        data = encode_program(assemble("mov RAX, 1"))
+        with pytest.raises(DecodingError):
+            decode_program(data[:-2])
+
+    def test_garbage_raises(self):
+        with pytest.raises(DecodingError):
+            decode_program(b"\xff\xfe\xfd\xfc\xfb\xfa")
+
+
+_registers = st.sampled_from(
+    ["RAX", "RBX", "RCX", "RDX", "R8", "R9", "EAX", "R10D", "XMM1", "YMM2"]
+)
+_immediates = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1).map(
+    lambda v: Immediate(v)
+)
+_memory = st.builds(
+    lambda base, disp, size: MemoryOperand(
+        base=Register(base), displacement=disp, size=size
+    ),
+    base=st.sampled_from(["RAX", "RBX", "R14"]),
+    disp=st.integers(min_value=-(2 ** 20), max_value=2 ** 20),
+    size=st.sampled_from([1, 2, 4, 8]),
+)
+
+
+@st.composite
+def _instructions(draw):
+    kind = draw(st.sampled_from(["alu_rr", "alu_ri", "load", "store", "nop"]))
+    if kind == "nop":
+        return Instruction("NOP")
+    mnemonic = draw(st.sampled_from(["ADD", "SUB", "AND", "OR", "XOR", "MOV"]))
+    if kind == "alu_rr":
+        a = draw(st.sampled_from(["RAX", "RBX", "RCX", "R8"]))
+        b = draw(st.sampled_from(["RDX", "R9", "R10"]))
+        return Instruction(mnemonic, (Register(a), Register(b)))
+    if kind == "alu_ri":
+        a = draw(st.sampled_from(["RAX", "RBX"]))
+        imm = draw(_immediates)
+        return Instruction(mnemonic, (Register(a), imm))
+    if kind == "load":
+        return Instruction("MOV", (Register("RAX"), draw(_memory)))
+    return Instruction("MOV", (draw(_memory), Register("RBX")))
+
+
+class TestPropertyRoundTrip:
+    @given(instr=_instructions())
+    @settings(max_examples=200)
+    def test_single_instruction_roundtrip(self, instr):
+        data = encode_instruction(instr)
+        decoded, consumed = decode_instruction(data)
+        assert consumed == len(data)
+        assert decoded == instr
+
+    @given(instrs=st.lists(_instructions(), min_size=0, max_size=20))
+    @settings(max_examples=100)
+    def test_program_roundtrip(self, instrs):
+        program = Program(tuple(instrs))
+        decoded = decode_program(encode_program(program))
+        assert list(decoded.instructions) == list(program.instructions)
+
+    @given(instrs=st.lists(_instructions(), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_decoding_is_sequential(self, instrs):
+        """Instruction boundaries are self-delimiting."""
+        program = Program(tuple(instrs))
+        data = encode_program(program)
+        pos = 0
+        count = 0
+        while pos < len(data):
+            _, pos = decode_instruction(data, pos)
+            count += 1
+        assert count == len(instrs)

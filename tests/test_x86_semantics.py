@@ -1,0 +1,273 @@
+"""Functional-semantics tests, run on a full simulated core."""
+
+import pytest
+
+from repro.errors import ExecutionError, PrivilegeError
+from repro.uarch.core import SimulatedCore
+from repro.x86.assembler import assemble
+
+
+@pytest.fixture()
+def core():
+    machine = SimulatedCore("Skylake", seed=0)
+    machine.map_user_region(0x100000, 1 << 16)
+    machine.regs.write("R14", 0x100000)
+    machine.regs.write("RSP", 0x100000 + 0x8000)
+    return machine
+
+
+def run(core, asm, kernel=False):
+    core.run_program(assemble(asm), kernel_mode=kernel)
+    return core
+
+
+class TestDataMovement:
+    def test_mov_imm_and_reg(self, core):
+        run(core, "mov RAX, 5; mov RBX, RAX")
+        assert core.regs.read("RBX") == 5
+
+    def test_load_store(self, core):
+        run(core, "mov RAX, 123; mov [R14+8], RAX; mov RBX, [R14+8]")
+        assert core.regs.read("RBX") == 123
+
+    def test_store_sizes(self, core):
+        run(core, "mov RAX, 0x11223344AABBCCDD; mov dword ptr [R14], EAX")
+        assert core.read_memory(0x100000, 8) == 0xAABBCCDD
+
+    def test_movzx_movsx(self, core):
+        run(core, "mov RAX, 0xFF; movzx RBX, AL; movsx RCX, AL")
+        assert core.regs.read("RBX") == 0xFF
+        assert core.regs.read("RCX") == (1 << 64) - 1
+
+    def test_lea(self, core):
+        run(core, "mov RBX, 10; mov RCX, 3; lea RAX, [RBX + RCX*4 + 2]")
+        assert core.regs.read("RAX") == 24
+
+    def test_xchg(self, core):
+        run(core, "mov RAX, 1; mov RBX, 2; xchg RAX, RBX")
+        assert core.regs.read("RAX") == 2 and core.regs.read("RBX") == 1
+
+    def test_push_pop(self, core):
+        rsp = core.regs.read("RSP")
+        run(core, "mov RAX, 77; push RAX; pop RBX")
+        assert core.regs.read("RBX") == 77
+        assert core.regs.read("RSP") == rsp
+
+
+class TestArithmetic:
+    def test_add_flags(self, core):
+        run(core, "mov RAX, -1; add RAX, 1")
+        assert core.regs.read("RAX") == 0
+        assert core.regs.read_flag("ZF")
+        assert core.regs.read_flag("CF")
+        assert not core.regs.read_flag("OF")
+
+    def test_signed_overflow(self, core):
+        run(core, "mov RAX, 0x7FFFFFFFFFFFFFFF; add RAX, 1")
+        assert core.regs.read_flag("OF")
+        assert core.regs.read_flag("SF")
+        assert not core.regs.read_flag("CF")
+
+    def test_sub_borrow(self, core):
+        run(core, "mov RAX, 1; sub RAX, 2")
+        assert core.regs.read("RAX") == (1 << 64) - 1
+        assert core.regs.read_flag("CF")
+
+    def test_adc_sbb_chain(self, core):
+        run(core, "mov RAX, -1; add RAX, 1; mov RBX, 0; adc RBX, 0")
+        assert core.regs.read("RBX") == 1  # carried in
+        run(core, "mov RAX, 0; sub RAX, 1; mov RCX, 5; sbb RCX, 0")
+        assert core.regs.read("RCX") == 4
+
+    def test_inc_preserves_cf(self, core):
+        run(core, "mov RAX, -1; add RAX, 1; inc RBX")
+        assert core.regs.read_flag("CF")  # INC must not clear CF
+
+    def test_dec_preserves_cf(self, core):
+        run(core, "mov RAX, -1; add RAX, 1; mov RBX, 5; dec RBX")
+        assert core.regs.read_flag("CF")
+        assert not core.regs.read_flag("ZF")
+
+    def test_neg(self, core):
+        run(core, "mov RAX, 5; neg RAX")
+        assert core.regs.read("RAX") == (1 << 64) - 5
+        assert core.regs.read_flag("CF")
+
+    def test_imul(self, core):
+        run(core, "mov RAX, 7; imul RAX, RAX")
+        assert core.regs.read("RAX") == 49
+
+    def test_imul_three_operand(self, core):
+        run(core, "mov RBX, 6; imul RAX, RBX, 7")
+        assert core.regs.read("RAX") == 42
+
+    def test_mul_wide(self, core):
+        run(core, "mov RAX, 0xFFFFFFFFFFFFFFFF; mov RBX, 2; mul RBX")
+        assert core.regs.read("RAX") == 0xFFFFFFFFFFFFFFFE
+        assert core.regs.read("RDX") == 1
+
+    def test_div(self, core):
+        run(core, "mov RDX, 0; mov RAX, 100; mov RBX, 7; div RBX")
+        assert core.regs.read("RAX") == 14
+        assert core.regs.read("RDX") == 2
+
+    def test_div_by_zero(self, core):
+        with pytest.raises(ExecutionError):
+            run(core, "mov RBX, 0; div RBX")
+
+    def test_idiv_signed(self, core):
+        run(core, "mov RAX, -100; cqo; mov RBX, 7; idiv RBX")
+        assert core.regs.read("RAX") == (1 << 64) - 14
+
+    def test_32bit_wraps(self, core):
+        run(core, "mov EAX, 0xFFFFFFFF; add EAX, 1")
+        assert core.regs.read("RAX") == 0
+        assert core.regs.read_flag("ZF")
+
+
+class TestLogicAndShifts:
+    def test_logic_clears_cf_of(self, core):
+        run(core, "mov RAX, -1; add RAX, 1; mov RBX, 3; and RBX, 1")
+        assert not core.regs.read_flag("CF")
+        assert not core.regs.read_flag("OF")
+        assert core.regs.read("RBX") == 1
+
+    def test_test_does_not_write(self, core):
+        run(core, "mov RAX, 6; test RAX, 2")
+        assert core.regs.read("RAX") == 6
+        assert not core.regs.read_flag("ZF")
+
+    def test_shl_shr_sar(self, core):
+        run(core, "mov RAX, 3; shl RAX, 4")
+        assert core.regs.read("RAX") == 48
+        run(core, "mov RBX, 48; shr RBX, 4")
+        assert core.regs.read("RBX") == 3
+        run(core, "mov RCX, -16; sar RCX, 2")
+        assert core.regs.read("RCX") == (1 << 64) - 4
+
+    def test_rotates(self, core):
+        run(core, "mov RAX, 1; ror RAX, 1")
+        assert core.regs.read("RAX") == 1 << 63
+        run(core, "rol RAX, 1")
+        assert core.regs.read("RAX") == 1
+
+    def test_bsf_bsr_popcnt(self, core):
+        run(core, "mov RAX, 0x48; bsf RBX, RAX; bsr RCX, RAX; popcnt RDX, RAX")
+        assert core.regs.read("RBX") == 3
+        assert core.regs.read("RCX") == 6
+        assert core.regs.read("RDX") == 2
+
+    def test_bit_ops(self, core):
+        run(core, "mov RAX, 0; bts RAX, 5; bt RAX, 5")
+        assert core.regs.read("RAX") == 32
+        assert core.regs.read_flag("CF")
+        run(core, "btr RAX, 5")
+        assert core.regs.read("RAX") == 0
+
+
+class TestControlFlow:
+    def test_loop(self, core):
+        run(core, "mov R15, 5; mov RAX, 0; top: add RAX, 2; "
+                  "sub R15, 1; jnz top")
+        assert core.regs.read("RAX") == 10
+
+    def test_jmp(self, core):
+        run(core, "mov RAX, 1; jmp skip; mov RAX, 99; skip: add RAX, 1")
+        assert core.regs.read("RAX") == 2
+
+    def test_cmov(self, core):
+        run(core, "mov RAX, 1; mov RBX, 2; cmp RAX, RAX; cmovz RAX, RBX")
+        assert core.regs.read("RAX") == 2
+        run(core, "mov RCX, 9; cmp RAX, RBX; cmovnz RCX, RBX")
+        assert core.regs.read("RCX") == 9  # equal -> no move
+
+    def test_setcc(self, core):
+        run(core, "mov RAX, 5; cmp RAX, 5; setz BL; setnz CL")
+        assert core.regs.read("BL") == 1
+        assert core.regs.read("CL") == 0
+
+    def test_signed_conditions(self, core):
+        run(core, "mov RAX, -5; cmp RAX, 3; setl BL; setb CL")
+        assert core.regs.read("BL") == 1  # signed less
+        assert core.regs.read("CL") == 0  # unsigned: huge > 3
+
+    def test_runaway_guard(self, core):
+        with pytest.raises(ExecutionError):
+            core.run_program(assemble("top: jmp top"), max_instructions=1000)
+
+
+class TestVector:
+    def test_paddd_lanes(self, core):
+        run(core, "mov RAX, 0x0000000200000001; mov [R14], RAX; "
+                  "movq XMM1, [R14]; movq XMM2, [R14]; paddd XMM1, XMM2; "
+                  "movq [R14+16], XMM1")
+        assert core.read_memory(0x100000 + 16, 8) == 0x0000000400000002
+
+    def test_pxor_zeroes(self, core):
+        run(core, "pxor XMM3, XMM3")
+        assert core.regs.read("XMM3") == 0
+
+    def test_vpaddd_three_operand(self, core):
+        run(core, "mov RAX, 7; mov [R14], RAX; movq XMM1, [R14]; "
+                  "mov RAX, 8; mov [R14+8], RAX; movq XMM2, [R14+8]; "
+                  "vpaddd XMM3, XMM1, XMM2; movq [R14+16], XMM3")
+        assert core.read_memory(0x100000 + 16, 8) == 15
+
+    def test_addsd(self, core):
+        import struct
+        bits = struct.unpack("<Q", struct.pack("<d", 1.5))[0]
+        core.write_memory(0x100000, 8, bits)
+        run(core, "movq XMM1, [R14]; addsd XMM1, XMM1; movq [R14+8], XMM1")
+        result = struct.unpack(
+            "<d", struct.pack("<Q", core.read_memory(0x100000 + 8, 8))
+        )[0]
+        assert result == 3.0
+
+    def test_divsd_by_zero_gives_inf(self, core):
+        import math
+        import struct
+        core.write_memory(0x100000, 8,
+                          struct.unpack("<Q", struct.pack("<d", 1.0))[0])
+        run(core, "movq XMM1, [R14]; pxor XMM2, XMM2; divsd XMM1, XMM2; "
+                  "movq [R14+8], XMM1")
+        result = struct.unpack(
+            "<d", struct.pack("<Q", core.read_memory(0x100000 + 8, 8))
+        )[0]
+        assert math.isinf(result)
+
+
+class TestSystem:
+    def test_privileged_in_user_mode(self, core):
+        for asm in ("rdmsr", "wrmsr", "wbinvd", "cli", "hlt"):
+            with pytest.raises(PrivilegeError):
+                run(core, "mov RCX, 0xE8; xor RAX, RAX; xor RDX, RDX; " + asm)
+
+    def test_privileged_in_kernel_mode(self, core):
+        run(core, "mov RCX, 0xE8; rdmsr", kernel=True)  # APERF, no fault
+
+    def test_cpuid_vendor_string(self, core):
+        run(core, "xor RAX, RAX; cpuid")
+        assert core.regs.read("EBX") == 0x756E6547  # "Genu"
+
+    def test_rdtsc_monotone(self, core):
+        run(core, "rdtsc; mov RBX, RAX; add RCX, 1; rdtsc")
+        assert core.regs.read("RAX") >= core.regs.read("RBX")
+
+    def test_rdpmc_fixed_counter(self, core):
+        run(core, "mov RCX, 0x40000000; rdpmc")
+        assert core.regs.read("RAX") > 0  # instructions retired so far
+
+    def test_wbinvd_flushes(self, core):
+        run(core, "mov RAX, [R14]")
+        assert core.hierarchy.probe_level(core.virt_to_phys(0x100000)) == 1
+        run(core, "wbinvd", kernel=True)
+        assert core.hierarchy.probe_level(core.virt_to_phys(0x100000)) == 0
+
+    def test_clflush(self, core):
+        run(core, "mov RAX, [R14]; clflush [R14]")
+        assert core.hierarchy.probe_level(core.virt_to_phys(0x100000)) == 0
+
+    def test_prefetch_fills_cache(self, core):
+        run(core, "prefetcht0 [R14+128]")
+        assert core.hierarchy.probe_level(
+            core.virt_to_phys(0x100000 + 128)) >= 1
