@@ -16,22 +16,20 @@ uops.info):
 
 import pytest
 
-from repro.core.nanobench import NanoBench
 from repro.tools.instr import (
-    characterize_corpus,
+    characterize_corpus_batched,
+    compare_uarches,
     corpus_for_family,
     profiles_to_table,
     profiles_to_xml,
 )
 
-from conftest import run_once
+from conftest import NB_JOBS, run_once
 
 
 def test_e6_skylake_full_corpus(benchmark, report):
-    nb = NanoBench.kernel("Skylake", seed=1)
-
     def experiment():
-        return characterize_corpus(nb)
+        return characterize_corpus_batched("Skylake", seed=1, jobs=NB_JOBS)
 
     profiles = run_once(benchmark, experiment)
     by_name = {p.name: p for p in profiles}
@@ -70,14 +68,9 @@ def test_e6_cross_uarch_differences(benchmark, report):
     subset = [corpus[name] for name in subset_names]
 
     def experiment():
-        results = {}
-        for uarch in ("Skylake", "Haswell", "Zen"):
-            nb = NanoBench.kernel(uarch, seed=1)
-            family_subset = [
-                v for v in subset if v.supported_on(nb.core.spec.family)
-            ]
-            results[uarch] = characterize_corpus(nb, family_subset)
-        return results
+        return compare_uarches(
+            ("Skylake", "Haswell", "Zen"), subset, seed=1, jobs=NB_JOBS
+        )
 
     results = run_once(benchmark, experiment)
 

@@ -15,7 +15,7 @@ a behaviourally equivalent name.
 import pytest
 
 from repro.core.output import format_table
-from repro.tools.cache import policies_equivalent, survey_cpu
+from repro.tools.cache import policies_equivalent
 from repro.uarch.specs import TABLE1_CPUS, get_spec
 
 from conftest import run_once
@@ -53,8 +53,10 @@ def _policy_matches(expected: str, survey_level) -> bool:
 
 
 @pytest.mark.parametrize("uarch", TABLE1_CPUS)
-def test_e7_table1_row(benchmark, report, uarch):
-    survey = run_once(benchmark, lambda: survey_cpu(uarch, seed=2))
+def test_e7_table1_row(benchmark, report, uarch, table1_surveys):
+    # The surveys for all rows are produced once by the session-scoped
+    # batch sweep (see conftest); each row validates its own CPU.
+    survey = run_once(benchmark, lambda: table1_surveys[uarch])
     expected_l1, expected_l2, expected_l3 = TABLE1[uarch]
     spec = get_spec(uarch)
 

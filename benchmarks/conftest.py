@@ -12,6 +12,20 @@ import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Worker processes for the batched experiment drivers (E6/E7/A4).
+#: Results are bit-identical for any value; raise it on multi-core
+#: hosts to shorten the sweep wall-clock.
+NB_JOBS = int(os.environ.get("NB_JOBS", "2"))
+
+
+@pytest.fixture(scope="session")
+def table1_surveys():
+    """All Table I CPU surveys, sharded once through the batch engine."""
+    from repro.tools.cache import survey_cpus
+    from repro.uarch.specs import TABLE1_CPUS
+
+    return survey_cpus(TABLE1_CPUS, seed=2, jobs=NB_JOBS)
+
 
 @pytest.fixture(scope="session")
 def report():

@@ -1,0 +1,225 @@
+"""The batched benchmark-execution engine.
+
+:class:`BatchRunner` shards a list of :class:`BenchmarkSpec` across a
+``multiprocessing`` worker pool and streams ordered results back.  The
+design follows the scale lessons of the uops.info corpus workflow: at
+thousands of microbenchmarks the bottleneck is harness orchestration,
+not the individual measurement, so the engine
+
+* runs each spec on a fresh, deterministically-seeded simulated core
+  (results are bit-identical to serial execution, regardless of the
+  worker count or sharding — see :mod:`repro.batch.spec`);
+* amortizes assembly and code generation through the per-process LRU
+  caches of :mod:`repro.core.codecache` (workers inherit empty caches
+  and warm them up as their shard streams through);
+* reports progress via a callback and aggregates per-spec cost
+  accounting into a :class:`BatchReport`.
+
+:func:`parallel_map` is the generic deterministic sibling used by the
+coarse-grained pipelines (whole-CPU cache surveys, multi-uarch sweeps)
+whose unit of work is a self-contained function call rather than a
+single benchmark.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.codecache import cache_stats
+from .spec import BatchResult, BenchmarkSpec
+
+#: Progress callback signature: ``(done, total, result)``.
+ProgressCallback = Callable[[int, int, BatchResult], None]
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate accounting for one :meth:`BatchRunner.run` call."""
+
+    n_specs: int = 0
+    n_errors: int = 0
+    jobs: int = 1
+    host_seconds: float = 0.0
+    program_runs: int = 0
+    simulated_cycles: int = 0
+    assemble_hits: int = 0
+    assemble_misses: int = 0
+    generate_hits: int = 0
+    generate_misses: int = 0
+
+    @property
+    def benchmarks_per_second(self) -> float:
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.n_specs / self.host_seconds
+
+    def add(self, result: BatchResult) -> None:
+        self.n_specs += 1
+        if not result.ok:
+            self.n_errors += 1
+        self.program_runs += result.program_runs
+        self.simulated_cycles += result.simulated_cycles
+        self.assemble_hits += result.assemble_hits
+        self.assemble_misses += result.assemble_misses
+        self.generate_hits += result.generate_hits
+        self.generate_misses += result.generate_misses
+
+
+def _execute_indexed(payload: Tuple[int, BenchmarkSpec]) -> Tuple[int, BatchResult]:
+    """Worker entry point: run one spec on a fresh core."""
+    index, spec = payload
+    return index, spec.execute()
+
+
+class BatchRunner:
+    """Execute many benchmark specs, serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``1`` (the default) runs in-process; any
+        larger value shards the spec list over a ``multiprocessing``
+        pool.  ``None`` means one worker per CPU.
+    progress:
+        Optional ``(done, total, result)`` callback, invoked in spec
+        order as results stream in.
+    chunk_size:
+        Specs handed to a worker at a time; larger chunks amortize IPC
+        and raise codegen-cache locality within a worker.  ``None``
+        picks ``ceil(n / (4 * jobs))``, bounded to [1, 32].
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.progress = progress
+        self.chunk_size = chunk_size
+        self.last_report = BatchReport()
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[BenchmarkSpec]) -> List[BatchResult]:
+        """Run all *specs*; returns results in spec order."""
+        return list(self.iter_results(specs))
+
+    def iter_results(
+        self, specs: Sequence[BenchmarkSpec]
+    ) -> Iterator[BatchResult]:
+        """Stream results back in spec order as they complete."""
+        specs = list(specs)
+        report = BatchReport(jobs=self.jobs)
+        self.last_report = report
+        started = time.perf_counter()
+        total = len(specs)
+        if self.jobs <= 1 or total <= 1:
+            iterator = self._iter_serial(specs)
+        else:
+            iterator = self._iter_parallel(specs)
+        done = 0
+        try:
+            for result in iterator:
+                done += 1
+                report.add(result)
+                report.host_seconds = time.perf_counter() - started
+                if self.progress is not None:
+                    self.progress(done, total, result)
+                yield result
+        finally:
+            report.host_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _iter_serial(
+        self, specs: Sequence[BenchmarkSpec]
+    ) -> Iterator[BatchResult]:
+        for spec in specs:
+            yield spec.execute()
+
+    def _iter_parallel(
+        self, specs: Sequence[BenchmarkSpec]
+    ) -> Iterator[BatchResult]:
+        jobs = min(self.jobs, len(specs))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, min(32, -(-len(specs) // (4 * jobs))))
+        payloads = list(enumerate(specs))
+        with multiprocessing.Pool(processes=jobs) as pool:
+            # imap (ordered) keeps the stream in spec order while
+            # workers proceed through their shards independently.
+            for index, result in pool.imap(
+                _execute_indexed, payloads, chunksize=chunk
+            ):
+                yield result
+
+    # ------------------------------------------------------------------
+    def cache_stats(self):
+        """Codegen-cache statistics of the *controlling* process.
+
+        Worker-process caches are per-process; their activity is
+        visible through the per-result hit/miss fields instead.
+        """
+        return cache_stats()
+
+
+def run_batch(
+    specs: Sequence[BenchmarkSpec],
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[BatchResult]:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    return BatchRunner(jobs, progress=progress).run(specs)
+
+
+# ----------------------------------------------------------------------
+# Generic deterministic fan-out for coarse-grained pipelines
+# ----------------------------------------------------------------------
+def _apply_indexed(payload):
+    index, fn, item = payload
+    return index, fn(item)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: Optional[int] = 1,
+    *,
+    progress: Optional[Callable[[int, int, object], None]] = None,
+) -> List:
+    """Ordered, deterministic map of *fn* over *items*, optionally
+    sharded across worker processes.
+
+    *fn* must be picklable (a module-level function) when ``jobs > 1``.
+    Results are returned in input order; exceptions propagate.
+    """
+    items = list(items)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    total = len(items)
+    results: List = []
+    if jobs <= 1 or total <= 1:
+        for done, item in enumerate(items, start=1):
+            value = fn(item)
+            results.append(value)
+            if progress is not None:
+                progress(done, total, value)
+        return results
+    payloads = [(i, fn, item) for i, item in enumerate(items)]
+    with multiprocessing.Pool(processes=min(jobs, total)) as pool:
+        for done, (index, value) in enumerate(
+            pool.imap(_apply_indexed, payloads), start=1
+        ):
+            results.append(value)
+            if progress is not None:
+                progress(done, total, value)
+    return results

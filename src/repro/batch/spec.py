@@ -1,0 +1,147 @@
+"""Benchmark specifications and results for the batch engine.
+
+A :class:`BenchmarkSpec` is one :meth:`NanoBench.run` call described as
+plain data — assembly, init sequence, events, option overrides, and the
+machine to run on — so it can be pickled to a worker process and
+executed there bit-identically to a serial run.  Determinism contract:
+every spec is executed on a **fresh**, deterministically-seeded
+:class:`~repro.uarch.core.SimulatedCore` keyed by ``(uarch, seed,
+kernel_mode)``, which makes the result a pure function of the spec and
+therefore independent of sharding, worker count, and execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import time
+
+from ..core.nanobench import NanoBench
+from ..core.options import NanoBenchOptions
+from ..errors import ReproError
+
+
+def _freeze_options(options) -> Tuple[Tuple[str, object], ...]:
+    if options is None:
+        return ()
+    if isinstance(options, NanoBenchOptions):
+        options = vars(options)
+    if isinstance(options, Mapping):
+        return tuple(sorted(options.items()))
+    return tuple(options)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One microbenchmark to run: code, events, options, and machine."""
+
+    asm: str = ""
+    asm_init: str = ""
+    #: Performance-event names (resolved against the uarch's catalog).
+    events: Tuple[str, ...] = ()
+    uarch: str = "Skylake"
+    seed: int = 0
+    kernel_mode: bool = True
+    #: ``NanoBenchOptions`` field overrides, frozen to a sorted tuple of
+    #: ``(name, value)`` pairs so specs stay hashable and picklable.
+    options: Tuple[Tuple[str, object], ...] = ()
+    #: Free-form tag echoed on the result (e.g. ``"latency:ADD"``).
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "options", _freeze_options(self.options))
+
+    @property
+    def core_key(self) -> Tuple[str, int, bool]:
+        """The ``(uarch, seed, kernel_mode)`` identity of the machine."""
+        return (self.uarch, self.seed, self.kernel_mode)
+
+    def option_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    def make_nanobench(self) -> NanoBench:
+        """A fresh nanoBench instance for this spec's machine key."""
+        factory = NanoBench.kernel if self.kernel_mode else NanoBench.user
+        return factory(uarch=self.uarch, seed=self.seed)
+
+    def execute(self, nb: Optional[NanoBench] = None) -> "BatchResult":
+        """Run this spec (on *nb* or a fresh instance); never raises."""
+        started = time.perf_counter()
+        try:
+            if nb is None:
+                nb = self.make_nanobench()
+            values = nb.run(
+                asm=self.asm,
+                asm_init=self.asm_init,
+                events=self.events,
+                **self.option_dict(),
+            )
+            report = nb.last_report
+        except (ReproError, ValueError) as exc:
+            return BatchResult(
+                spec=self,
+                values={},
+                error=str(exc),
+                host_seconds=time.perf_counter() - started,
+            )
+        return BatchResult(
+            spec=self,
+            values=dict(values),
+            error=None,
+            host_seconds=time.perf_counter() - started,
+            program_runs=report.program_runs,
+            counter_groups=report.counter_groups,
+            simulated_cycles=report.simulated_cycles,
+            assemble_hits=report.assemble_hits,
+            assemble_misses=report.assemble_misses,
+            generate_hits=report.generate_hits,
+            generate_misses=report.generate_misses,
+        )
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :class:`BenchmarkSpec` execution."""
+
+    spec: BenchmarkSpec
+    #: ``{counter name: value}`` — empty when ``error`` is set.
+    values: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    host_seconds: float = 0.0
+    program_runs: int = 0
+    counter_groups: int = 0
+    simulated_cycles: int = 0
+    assemble_hits: int = 0
+    assemble_misses: int = 0
+    generate_hits: int = 0
+    generate_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def spec_from_run_kwargs(
+    asm: str = "",
+    asm_init: str = "",
+    *,
+    events: Sequence[str] = (),
+    uarch: str = "Skylake",
+    seed: int = 0,
+    kernel_mode: bool = True,
+    label: str = "",
+    **option_overrides,
+) -> BenchmarkSpec:
+    """Build a spec with the same keyword surface as ``NanoBench.run``."""
+    return BenchmarkSpec(
+        asm=asm,
+        asm_init=asm_init,
+        events=tuple(events),
+        uarch=uarch,
+        seed=seed,
+        kernel_mode=kernel_mode,
+        options=_freeze_options(option_overrides),
+        label=label,
+    )

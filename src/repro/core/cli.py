@@ -4,13 +4,21 @@ Example (the paper's Section III-A call)::
 
     nanobench -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \\
               -config cfg_Skylake.txt -uarch Skylake -kernel
+
+Batch mode runs many benchmarks from a file, sharded over worker
+processes (``-jobs``)::
+
+    nanobench -batch benchmarks.txt -jobs 4 -uarch Skylake
+
+where each non-comment line of the file is ``asm`` or
+``asm | asm_init``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..perfctr.config import example_skylake_config, parse_config_file
 from ..perfctr.events import event_catalog
@@ -56,7 +64,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-aperf_mperf", action="store_true")
     parser.add_argument("-seed", type=int, default=0)
     parser.add_argument("-verbose", action="store_true")
+    parser.add_argument("-batch", default=None, metavar="FILE",
+                        help="run every benchmark listed in FILE (one "
+                             "'asm' or 'asm | asm_init' per line)")
+    parser.add_argument("-jobs", type=int, default=1,
+                        help="worker processes for -batch (default 1; "
+                             "0 = one per CPU)")
     return parser
+
+
+def parse_batch_file(path: str) -> List[Tuple[str, str]]:
+    """Parse a batch file into ``(asm, asm_init)`` pairs."""
+    entries: List[Tuple[str, str]] = []
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            asm, _, asm_init = (part.strip() for part in line.partition("|"))
+            entries.append((asm, asm_init))
+    return entries
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,6 +112,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif nb.core.spec.family == "SKL":
         config = example_skylake_config()
 
+    if args.batch is not None:
+        return _run_batch_mode(args, options, config)
+
     kwargs = {}
     if args.code is not None:
         with open(args.code, "rb") as handle:
@@ -107,6 +137,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
+    """The ``-batch`` path: shard the file's benchmarks over workers."""
+    from ..batch import BatchRunner, BenchmarkSpec
+
+    try:
+        entries = parse_batch_file(args.batch)
+    except OSError as exc:
+        print("cannot read batch file: %s" % exc, file=sys.stderr)
+        return 1
+    if not entries:
+        print("batch file contains no benchmarks", file=sys.stderr)
+        return 1
+    events = config.names if config is not None else ()
+    option_overrides = vars(options)
+    specs = [
+        BenchmarkSpec(
+            asm=asm,
+            asm_init=asm_init,
+            events=events,
+            uarch=args.uarch,
+            seed=args.seed,
+            kernel_mode=args.kernel,
+            options=tuple(sorted(option_overrides.items())),
+            label="%d" % index,
+        )
+        for index, (asm, asm_init) in enumerate(entries)
+    ]
+    jobs = args.jobs if args.jobs > 0 else None
+
+    def progress(done: int, total: int, result) -> None:
+        if args.verbose:
+            print("# [%d/%d] %s" % (done, total, result.spec.asm),
+                  file=sys.stderr)
+
+    runner = BatchRunner(jobs, progress=progress)
+    status = 0
+    for result in runner.iter_results(specs):
+        print("## %s" % (result.spec.asm or "<empty>"))
+        if result.ok:
+            print(format_results(result.values))
+        else:
+            print("error: %s" % result.error)
+            status = 1
+    report = runner.last_report
+    print(
+        "# %d benchmarks, %d errors, %d workers, %.2f s "
+        "(%.1f benchmarks/s); codegen cache: %d/%d assemble, "
+        "%d/%d generate hits/misses"
+        % (report.n_specs, report.n_errors, report.jobs,
+           report.host_seconds, report.benchmarks_per_second,
+           report.assemble_hits, report.assemble_misses,
+           report.generate_hits, report.generate_misses),
+        file=sys.stderr,
+    )
+    return status
 
 
 if __name__ == "__main__":

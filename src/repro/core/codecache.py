@@ -1,0 +1,168 @@
+"""Memoization for the benchmark hot path (assembly and codegen).
+
+High-volume workloads — the instruction-characterization sweeps of
+Section V and the cache-policy surveys of Section VI — issue thousands
+of :meth:`NanoBench.run` calls, and the vast majority re-assemble the
+same ``-asm`` strings and regenerate structurally identical measurement
+functions (Algorithm 1).  Both steps are pure functions of their
+inputs, so this module puts a bounded LRU cache in front of each:
+
+* :func:`cached_assemble` — keyed on the assembly source string;
+* :func:`cached_generate` — keyed on ``(program, init, counter reads,
+  generation-relevant options, localUnrollCount)``.
+
+Cache contents are immutable-by-convention (:class:`Program` and
+:class:`GeneratedCode` are never mutated after construction anywhere in
+the library), so cached objects are shared between calls.  Hit/miss
+statistics are exposed per :meth:`NanoBench.run` call on
+:class:`~repro.core.nanobench.ExecutionReport` and globally via
+:func:`cache_stats`.  The caches are per-process: each
+:class:`~repro.batch.BatchRunner` worker builds its own, which is what
+makes the batched sweeps fast without any cross-process locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..x86.assembler import assemble
+from ..x86.instructions import Program
+from .codegen import CounterRead, GeneratedCode, generate
+from .options import NanoBenchOptions
+
+#: Default cache bounds; override via :func:`configure_caches`.
+DEFAULT_ASSEMBLE_CACHE_SIZE = 4096
+DEFAULT_GENERATE_CACHE_SIZE = 1024
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and stats."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get_or_create(self, key, factory: Callable[[], object]):
+        """Return the cached value for *key*, creating it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = factory()
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        while len(self._entries) > maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_assemble_cache = LRUCache(DEFAULT_ASSEMBLE_CACHE_SIZE)
+_generate_cache = LRUCache(DEFAULT_GENERATE_CACHE_SIZE)
+
+
+def cached_assemble(source: str) -> Program:
+    """:func:`~repro.x86.assembler.assemble`, memoized on the source."""
+    return _assemble_cache.get_or_create(source, lambda: assemble(source))
+
+
+def _program_key(program: Program) -> Tuple:
+    # str(Program) round-trips mnemonics, operands and label positions,
+    # which is exactly the information generate() consumes.
+    return (str(program), len(program.instructions))
+
+
+def generation_key(
+    code: Program,
+    init: Program,
+    counters: Sequence[CounterRead],
+    options: NanoBenchOptions,
+    local_unroll_count: int,
+) -> Tuple:
+    """The cache key: everything :func:`generate` depends on."""
+    return (
+        _program_key(code),
+        _program_key(init),
+        tuple(counters),
+        options.loop_count,
+        options.no_mem,
+        options.serializer,
+        local_unroll_count,
+    )
+
+
+def cached_generate(
+    code: Program,
+    init: Program,
+    counters: Sequence[CounterRead],
+    options: NanoBenchOptions,
+    local_unroll_count: int,
+) -> GeneratedCode:
+    """:func:`~repro.core.codegen.generate`, memoized."""
+    key = generation_key(code, init, counters, options, local_unroll_count)
+    return _generate_cache.get_or_create(
+        key,
+        lambda: generate(code, init, counters, options, local_unroll_count),
+    )
+
+
+def configure_caches(
+    assemble_size: Optional[int] = None,
+    generate_size: Optional[int] = None,
+) -> None:
+    """Resize the process-wide caches (the caching knobs)."""
+    if assemble_size is not None:
+        _assemble_cache.resize(assemble_size)
+    if generate_size is not None:
+        _generate_cache.resize(generate_size)
+
+
+def clear_caches() -> None:
+    """Drop all cached programs and reset the statistics."""
+    _assemble_cache.clear()
+    _generate_cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Current statistics of both caches, for reports and the CLI."""
+    return {
+        "assemble": _assemble_cache.stats(),
+        "generate": _generate_cache.stats(),
+    }

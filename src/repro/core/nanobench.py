@@ -37,8 +37,8 @@ from ..perfctr.counters import (
 )
 from ..perfctr.events import PerfEvent, event_catalog
 from ..uarch.core import SimulatedCore
-from ..x86.assembler import assemble
 from ..x86.instructions import Program
+from .codecache import cache_stats, cached_assemble, cached_generate
 from .codegen import (
     AREA_SIZE,
     MEASUREMENT_AREA_BASE,
@@ -51,7 +51,6 @@ from .codegen import (
     CounterRead,
     GeneratedCode,
     SCRATCH_REGISTERS,
-    generate,
 )
 from .options import NanoBenchOptions
 from .runner import aggregate_values, run_measurements
@@ -79,6 +78,12 @@ class ExecutionReport:
     program_runs: int = 0
     counter_groups: int = 0
     host_seconds: float = 0.0
+    #: Codegen-cache activity attributable to this call (deltas of the
+    #: process-wide caches, see :mod:`repro.core.codecache`).
+    assemble_hits: int = 0
+    assemble_misses: int = 0
+    generate_hits: int = 0
+    generate_misses: int = 0
 
     def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
         """Modelled wall-clock time of the equivalent native invocation."""
@@ -233,14 +238,15 @@ class NanoBench:
         included (unless disabled via options).
         """
         started = time.perf_counter()
+        stats_before = cache_stats()
         options = (
             replace(self.options, **option_overrides)
             if option_overrides else self.options
         )
         options.validate()
 
-        benchmark = code if code is not None else assemble(asm)
-        init_program = init if init is not None else assemble(asm_init)
+        benchmark = code if code is not None else cached_assemble(asm)
+        init_program = init if init is not None else cached_assemble(asm_init)
 
         perf_events = self._resolve_events(config, events)
         groups = (
@@ -261,6 +267,21 @@ class NanoBench:
                     results[name] = value
         report.simulated_cycles = self.core.current_cycle - cycles_before
         report.host_seconds = time.perf_counter() - started
+        stats_after = cache_stats()
+        report.assemble_hits = (
+            stats_after["assemble"]["hits"] - stats_before["assemble"]["hits"]
+        )
+        report.assemble_misses = (
+            stats_after["assemble"]["misses"]
+            - stats_before["assemble"]["misses"]
+        )
+        report.generate_hits = (
+            stats_after["generate"]["hits"] - stats_before["generate"]["hits"]
+        )
+        report.generate_misses = (
+            stats_after["generate"]["misses"]
+            - stats_before["generate"]["misses"]
+        )
         self.last_report = report
         return results
 
@@ -313,7 +334,7 @@ class NanoBench:
         total_runs = 0
         self.last_raw_series = {}
         for local_unroll in unroll_pair:
-            generated = generate(
+            generated = cached_generate(
                 benchmark, init_program, counter_reads, options, local_unroll
             )
             series = run_measurements(

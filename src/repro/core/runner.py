@@ -8,7 +8,6 @@ the top and bottom 20 % of the values.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Sequence
@@ -72,7 +71,6 @@ def run_measurements(
     ``m2 - m1`` counter values of that run.
     """
     collected: Dict[str, List[float]] = {}
-    total = warm_up_count + n_measurements
     for i in range(-warm_up_count, n_measurements):
         measurement = run_once()
         if i < 0:

@@ -23,7 +23,7 @@ from .policy_id import (
     random_access_sequence,
 )
 from .set_dueling import SetClassification, SetDuelingScanner
-from .survey import CpuSurvey, LevelSurvey, survey_cpu
+from .survey import CpuSurvey, LevelSurvey, survey_cpu, survey_cpus
 
 __all__ = [
     "Access",
@@ -50,4 +50,5 @@ __all__ = [
     "render_age_graph",
     "sequence",
     "survey_cpu",
+    "survey_cpus",
 ]

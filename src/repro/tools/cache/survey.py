@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ...batch import parallel_map
 from ...core.nanobench import NanoBench
 from ...errors import AnalysisError
 from ...memory.replacement import AdaptivePolicy
@@ -177,3 +178,31 @@ def survey_cpu(uarch: str, seed: int = 0,
     )
     survey.levels[3] = _survey_l3(CacheSeq(nb, level=3), nb, seed=seed)
     return survey
+
+
+def _survey_one(task: Tuple[str, int, int]) -> CpuSurvey:
+    uarch, seed, buffer_mb = task
+    return survey_cpu(uarch, seed=seed, buffer_mb=buffer_mb)
+
+
+def survey_cpus(
+    uarchs: Sequence[str],
+    seed: int = 0,
+    buffer_mb: int = 128,
+    jobs: Optional[int] = 1,
+    progress: Optional[Callable[[int, int, object], None]] = None,
+) -> Dict[str, CpuSurvey]:
+    """Survey several CPUs, optionally sharded across worker processes.
+
+    Each :func:`survey_cpu` call is self-contained (its own simulated
+    CPU, its own seeded RNGs), so the sharded run is bit-identical to
+    the serial one.  This is the multi-uarch Table I sweep the batched
+    E7 driver uses.
+    """
+    surveys = parallel_map(
+        _survey_one,
+        [(uarch, seed, buffer_mb) for uarch in uarchs],
+        jobs=jobs,
+        progress=progress,
+    )
+    return {uarch: survey for uarch, survey in zip(uarchs, surveys)}

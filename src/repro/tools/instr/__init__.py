@@ -2,6 +2,7 @@
 
 from .characterize import (
     characterize_corpus,
+    characterize_corpus_batched,
     compare_uarches,
     profiles_to_table,
     profiles_to_xml,
@@ -15,6 +16,8 @@ from .measure import (
     measure_port_usage,
     measure_throughput,
     measure_uops,
+    profile_from_results,
+    variant_specs,
 )
 
 __all__ = [
@@ -22,6 +25,7 @@ __all__ = [
     "InstructionVariant",
     "build_corpus",
     "characterize_corpus",
+    "characterize_corpus_batched",
     "characterize_variant",
     "compare_uarches",
     "corpus_for_family",
@@ -30,6 +34,8 @@ __all__ = [
     "measure_port_usage",
     "measure_throughput",
     "measure_uops",
+    "profile_from_results",
     "profiles_to_table",
     "profiles_to_xml",
+    "variant_specs",
 ]

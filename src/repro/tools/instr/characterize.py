@@ -7,13 +7,20 @@ rows of www.uops.info (Section V) or as machine-readable XML.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from xml.etree import ElementTree
 
+from ...batch import BatchRunner
 from ...core.nanobench import NanoBench
 from ...core.output import format_table
+from ...uarch.specs import get_spec
 from .corpus import InstructionVariant, corpus_for_family
-from .measure import InstructionProfile, characterize_variant
+from .measure import (
+    InstructionProfile,
+    characterize_variant,
+    profile_from_results,
+    variant_specs,
+)
 
 
 def characterize_corpus(
@@ -24,6 +31,55 @@ def characterize_corpus(
     if variants is None:
         variants = corpus_for_family(nb.core.spec.family)
     return [characterize_variant(nb, variant) for variant in variants]
+
+
+def characterize_corpus_batched(
+    uarch: str = "Skylake",
+    variants: Optional[Sequence[InstructionVariant]] = None,
+    *,
+    seed: int = 0,
+    kernel_mode: bool = True,
+    jobs: Optional[int] = 1,
+    progress: Optional[Callable[[int, int, object], None]] = None,
+) -> List[InstructionProfile]:
+    """The corpus sweep through the batch engine (``repro.batch``).
+
+    Expands every variant to its four measurement specs, shards the
+    whole list over a :class:`~repro.batch.BatchRunner`, and reassembles
+    the per-variant profiles.  Results are identical to
+    :func:`characterize_corpus` on a fresh core for any ``jobs`` value;
+    the parallel path is the one the full uops.info-scale sweeps use.
+    """
+    if variants is None:
+        variants = corpus_for_family(get_spec(uarch).family)
+    variants = list(variants)
+    kept: List[InstructionVariant] = []
+    skipped: Dict[str, InstructionProfile] = {}
+    specs = []
+    for variant in variants:
+        if variant.kernel_only and not kernel_mode:
+            skipped[variant.name] = InstructionProfile(
+                variant.name, None, None, None, {},
+                error="requires the kernel-space version",
+            )
+            continue
+        kept.append(variant)
+        specs.extend(
+            variant_specs(variant, uarch, seed=seed, kernel_mode=kernel_mode)
+        )
+    runner = BatchRunner(jobs, progress=progress)
+    results = runner.run(specs)
+    profiles: List[InstructionProfile] = []
+    cursor = 0
+    for variant in variants:
+        if variant.name in skipped:
+            profiles.append(skipped[variant.name])
+            continue
+        profiles.append(
+            profile_from_results(variant, results[cursor:cursor + 4])
+        )
+        cursor += 4
+    return profiles
 
 
 def profiles_to_table(profiles: Sequence[InstructionProfile]) -> str:
@@ -75,16 +131,22 @@ def compare_uarches(
     uarch_names: Sequence[str],
     variants: Optional[Sequence[InstructionVariant]] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, List[InstructionProfile]]:
-    """Characterize the corpus on several microarchitectures."""
+    """Characterize the corpus on several microarchitectures.
+
+    Goes through the batch engine; ``jobs`` shards each uarch's
+    measurement specs across worker processes.
+    """
     results: Dict[str, List[InstructionProfile]] = {}
     for name in uarch_names:
-        nb = NanoBench.kernel(uarch=name, seed=seed)
+        family = get_spec(name).family
         family_variants = variants
         if family_variants is not None:
             family_variants = [
-                v for v in family_variants
-                if v.supported_on(nb.core.spec.family)
+                v for v in family_variants if v.supported_on(family)
             ]
-        results[name] = characterize_corpus(nb, family_variants)
+        results[name] = characterize_corpus_batched(
+            name, family_variants, seed=seed, jobs=jobs
+        )
     return results

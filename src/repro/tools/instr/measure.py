@@ -17,10 +17,13 @@ not part of the performance measurement." (Section V.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...batch.spec import BatchResult, BenchmarkSpec, spec_from_run_kwargs
 from ...core.nanobench import NanoBench
 from ...errors import NanoBenchError, TimingModelError
+from ...uarch.ports import PORT_LAYOUTS
+from ...uarch.specs import get_spec
 from .corpus import InstructionVariant
 
 #: Measurement parameters tuned for the deterministic kernel variant.
@@ -115,6 +118,105 @@ class InstructionProfile:
     @property
     def port_string(self) -> str:
         return format_port_usage(self.ports)
+
+
+# ----------------------------------------------------------------------
+# Batch-engine view of the same measurements (repro.batch)
+# ----------------------------------------------------------------------
+#: The per-variant measurements, in the order characterize_variant runs
+#: them (the first failing one supplies the profile's error string).
+_MEASUREMENT_ORDER = ("latency", "throughput", "uops", "ports")
+
+
+def _port_events(uarch: str) -> List[str]:
+    ports = PORT_LAYOUTS[get_spec(uarch).family].ports
+    return ["UOPS_DISPATCHED_PORT.PORT_%s" % p for p in ports]
+
+
+def variant_specs(
+    variant: InstructionVariant,
+    uarch: str = "Skylake",
+    seed: int = 0,
+    kernel_mode: bool = True,
+) -> List[BenchmarkSpec]:
+    """The four benchmark specs behind one :class:`InstructionProfile`.
+
+    Each spec runs on a fresh deterministically-seeded core, which is
+    measurement-equivalent to the sequential
+    :func:`characterize_variant` path (the measurements only consume
+    overhead-cancelled counter differences).
+    """
+    common = dict(uarch=uarch, seed=seed, kernel_mode=kernel_mode)
+    return [
+        spec_from_run_kwargs(
+            asm=variant.latency_asm, asm_init=variant.init_asm,
+            label="latency:%s" % variant.name, **common, **_LATENCY_KW,
+        ),
+        spec_from_run_kwargs(
+            asm=variant.throughput_asm, asm_init=variant.init_asm,
+            label="throughput:%s" % variant.name, **common, **_THROUGHPUT_KW,
+        ),
+        spec_from_run_kwargs(
+            asm=variant.throughput_asm, asm_init=variant.init_asm,
+            events=["UOPS_ISSUED.ANY"],
+            label="uops:%s" % variant.name, **common, **_THROUGHPUT_KW,
+        ),
+        spec_from_run_kwargs(
+            asm=variant.throughput_asm, asm_init=variant.init_asm,
+            events=_port_events(uarch),
+            label="ports:%s" % variant.name, **common, **_THROUGHPUT_KW,
+        ),
+    ]
+
+
+def profile_from_results(
+    variant: InstructionVariant,
+    results: Sequence[BatchResult],
+) -> InstructionProfile:
+    """Combine the four :func:`variant_specs` results into a profile.
+
+    Mirrors :func:`characterize_variant`'s error semantics: the first
+    failing measurement (in latency, throughput, µops, ports order)
+    determines the recorded error.
+    """
+    by_kind = {
+        result.spec.label.split(":", 1)[0]: result for result in results
+    }
+    for kind in _MEASUREMENT_ORDER:
+        result = by_kind[kind]
+        if not result.ok:
+            return InstructionProfile(
+                variant.name, None, None, None, {}, error=result.error
+            )
+    per_link = by_kind["latency"].values["Core cycles"]
+    latency = (
+        max(0.0, per_link - variant.latency_adjust) / variant.latency_divisor
+    )
+    throughput = (
+        by_kind["throughput"].values["Core cycles"]
+        / variant.throughput_instances
+    )
+    uops = (
+        by_kind["uops"].values["UOPS_ISSUED.ANY"]
+        / variant.throughput_instances
+    )
+    ports: Dict[str, float] = {}
+    port_result = by_kind["ports"]
+    prefix = "UOPS_DISPATCHED_PORT.PORT_"
+    for name, value in port_result.values.items():
+        if not name.startswith(prefix):
+            continue
+        value /= variant.throughput_instances
+        if value > 0.005:
+            ports[name[len(prefix):]] = round(value, 3)
+    return InstructionProfile(
+        name=variant.name,
+        latency=round(latency, 2),
+        throughput=round(throughput, 2),
+        uops=round(uops, 2),
+        ports=ports,
+        latency_pair=variant.latency_pair,
+    )
 
 
 def characterize_variant(nb: NanoBench,

@@ -1,0 +1,92 @@
+"""Differential tests (tier 2): independent paths must agree.
+
+Two equivalences the architecture promises:
+
+* **user vs kernel space** (Section III-D): for non-privileged
+  benchmarks the two nanoBench variants measure the same fixed-counter
+  values — the kernel variant only *adds* capabilities (interrupts
+  disabled, MSR access, physically-contiguous memory), it does not
+  change what the shared measurement core observes;
+* **serial vs batched** (repro.batch): the batch engine's determinism
+  contract — for the same spec and seed, the sharded run returns
+  byte-identical result dicts.
+"""
+
+import pytest
+
+from repro.batch import BatchRunner, spec_from_run_kwargs
+from repro.core.nanobench import NanoBench
+
+pytestmark = pytest.mark.tier2
+
+_FIXED = ("Instructions retired", "Core cycles", "Reference cycles")
+
+#: Non-privileged benchmarks spanning ALU, load, store, and branch-free
+#: vector code.
+_BENCHMARKS = [
+    ("add RAX, RAX", "", {}),
+    ("imul RAX, RBX", "", {}),
+    ("mov R14, [R14]", "mov [R14], R14", {}),
+    ("mov [R14], RAX; mov RAX, [R14 + 64]", "", {}),
+    ("nop; nop; nop", "", {}),
+    ("add RAX, RAX", "", {"aggregate": "min", "unroll_count": 30}),
+    ("mulsd XMM1, XMM2", "", {"n_measurements": 5}),
+]
+
+
+class TestUserVsKernel:
+    @pytest.mark.parametrize("asm,asm_init,kw", _BENCHMARKS)
+    def test_fixed_counters_identical(self, asm, asm_init, kw):
+        kernel = NanoBench.kernel("Skylake", seed=7).run(
+            asm=asm, asm_init=asm_init, **kw
+        )
+        user = NanoBench.user("Skylake", seed=7).run(
+            asm=asm, asm_init=asm_init, **kw
+        )
+        for name in _FIXED:
+            assert kernel[name] == user[name], (asm, name)
+
+    def test_identical_across_uarches(self):
+        for uarch in ("Skylake", "Haswell", "Zen"):
+            kernel = NanoBench.kernel(uarch, seed=3).run(asm="add RAX, RBX")
+            user = NanoBench.user(uarch, seed=3).run(asm="add RAX, RBX")
+            assert dict(kernel) == dict(user), uarch
+
+
+class TestSerialVsBatched:
+    def _specs(self):
+        specs = []
+        for seed in (0, 1, 5):
+            for asm, asm_init, kw in _BENCHMARKS[:4]:
+                specs.append(spec_from_run_kwargs(
+                    asm=asm, asm_init=asm_init, seed=seed, **kw
+                ))
+        specs.append(spec_from_run_kwargs(
+            asm="mov R14, [R14]", asm_init="mov [R14], R14", seed=2,
+            events=["UOPS_ISSUED.ANY", "MEM_LOAD_RETIRED.L1_HIT"],
+        ))
+        return specs
+
+    def test_batched_results_byte_identical_to_serial(self):
+        specs = self._specs()
+        serial = BatchRunner(jobs=1).run(specs)
+        batched = BatchRunner(jobs=2).run(specs)
+        assert [r.values for r in serial] == [r.values for r in batched]
+        assert [r.error for r in serial] == [r.error for r in batched]
+        assert all(r.ok for r in serial)
+
+    def test_batched_matches_direct_nanobench_run(self):
+        spec = spec_from_run_kwargs(
+            asm="imul RAX, RBX", seed=4, aggregate="med"
+        )
+        (result,) = BatchRunner(jobs=1).run([spec])
+        direct = NanoBench.kernel("Skylake", seed=4).run(
+            asm="imul RAX, RBX", aggregate="med"
+        )
+        assert result.values == dict(direct)
+
+    def test_rerun_is_deterministic(self):
+        specs = self._specs()
+        first = BatchRunner(jobs=2).run(specs)
+        second = BatchRunner(jobs=2).run(specs)
+        assert [r.values for r in first] == [r.values for r in second]

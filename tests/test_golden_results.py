@@ -1,0 +1,161 @@
+"""Golden-result regression suite (tier 2).
+
+Re-runs a representative subset of the paper experiments and asserts
+the figures match the values checked in under ``benchmarks/results/``,
+so refactors of the core engine cannot silently drift the reproduced
+numbers:
+
+* E1 — the Section III-A L1-load-latency example (every counter value);
+* E4 — the LFENCE/CPUID serialization comparison (means and spreads);
+* E7 — the Table I policy survey for two microarchitectures (one
+  QLRU CPU, one adaptive set-dueling CPU).
+
+The benchmark drivers regenerate these files on every run; this suite
+is the cheap guard that runs with the plain test suite.
+"""
+
+import os
+import re
+import statistics
+
+import pytest
+
+from repro.baselines import AgnerLikeFramework
+from repro.core.nanobench import NanoBench
+from repro.perfctr.config import example_skylake_config
+from repro.tools.cache import survey_cpus
+from repro.uarch.core import SimulatedCore
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "results"
+)
+
+pytestmark = pytest.mark.tier2
+
+
+def _golden(name: str) -> str:
+    path = os.path.join(RESULTS_DIR, name)
+    if not os.path.exists(path):
+        pytest.skip("golden file %s not checked in" % name)
+    with open(path) as handle:
+        return handle.read()
+
+
+# ----------------------------------------------------------------------
+# E1 — Section III-A example output
+# ----------------------------------------------------------------------
+def test_e1_l1_latency_matches_golden():
+    golden = _golden("E1_l1_latency.txt")
+    expected = {}
+    for line in golden.splitlines()[1:]:
+        parts = line.rsplit(None, 2)
+        if len(parts) == 3:
+            expected[parts[0].strip()] = float(parts[2])
+    assert len(expected) == 10
+
+    nb = NanoBench.kernel(uarch="Skylake", seed=0)
+    result = nb.run(
+        asm="mov R14, [R14]",
+        asm_init="mov [R14], R14",
+        config=example_skylake_config(),
+    )
+    for name, value in expected.items():
+        assert round(result[name], 2) == value, name
+
+
+# ----------------------------------------------------------------------
+# E4 — serialization comparison figures
+# ----------------------------------------------------------------------
+def _e4_recompute():
+    def series(serializer):
+        values = []
+        for seed in range(12):
+            nb = NanoBench.kernel("Skylake", seed=seed)
+            values.append(nb.run(
+                asm="add RAX, RAX", serializer=serializer, aggregate="min"
+            )["Core cycles"])
+        return values
+
+    lfence = series("lfence")
+    cpuid = series("cpuid")
+    cpuid_latencies = []
+    for seed in range(12):
+        nb = NanoBench.kernel("Skylake", seed=seed)
+        cpuid_latencies.append(nb.run(
+            asm="cpuid", asm_init="xor RAX, RAX",
+            unroll_count=10, aggregate="med",
+        )["Core cycles"])
+    agner_values = []
+    for seed in range(6):
+        agner = AgnerLikeFramework(SimulatedCore("Skylake", seed=seed))
+        agner_values.append(agner.measure(asm="add RAX, RAX")["Core cycles"])
+    return lfence, cpuid, cpuid_latencies, agner_values
+
+
+def test_e4_serialization_matches_golden():
+    golden = _golden("E4_serialization.txt")
+    numbers = {}
+    patterns = {
+        "lfence": r"LFENCE serialization: mean ([\d.]+), spread ([\d.]+)",
+        "cpuid": r"CPUID serialization:\s+mean ([\d.]+), spread ([\d.]+)",
+        "cpuid_lat": r"raw CPUID latency: mean (\d+), spread (\d+)",
+        "agner": r"Agner-style framework on the same ADD: spread ([\d.]+)",
+    }
+    for key, pattern in patterns.items():
+        match = re.search(pattern, golden)
+        assert match is not None, "golden file lost the %s line" % key
+        numbers[key] = tuple(float(g) for g in match.groups())
+
+    lfence, cpuid, cpuid_latencies, agner_values = _e4_recompute()
+
+    def spread(values):
+        return max(values) - min(values)
+
+    assert float("%.3f" % statistics.mean(lfence)) == numbers["lfence"][0]
+    assert float("%.3f" % spread(lfence)) == numbers["lfence"][1]
+    assert float("%.3f" % statistics.mean(cpuid)) == numbers["cpuid"][0]
+    assert float("%.3f" % spread(cpuid)) == numbers["cpuid"][1]
+    assert float("%.0f" % statistics.mean(cpuid_latencies)) == \
+        numbers["cpuid_lat"][0]
+    assert float("%.0f" % spread(cpuid_latencies)) == numbers["cpuid_lat"][1]
+    assert float("%.2f" % spread(agner_values)) == numbers["agner"][0]
+
+
+# ----------------------------------------------------------------------
+# E7 — Table I rows for two uarches (QLRU + adaptive)
+# ----------------------------------------------------------------------
+_E7_UARCHES = ("Skylake", "Haswell")
+
+
+@pytest.fixture(scope="module")
+def e7_surveys():
+    return survey_cpus(_E7_UARCHES, seed=2, jobs=1)
+
+
+def _parse_e7_rows(golden: str):
+    """Parse ``(level, size, assoc, measured)`` from a golden table."""
+    rows = {}
+    for line in golden.splitlines():
+        match = re.match(
+            r"^L(\d)\s+(\d+)kB\s+(\d+)\s{2,}\S.*?\s{2,}(\S.*?)\s{2,}\S",
+            line,
+        )
+        if match:
+            rows[int(match.group(1))] = (
+                int(match.group(2)) * 1024,
+                int(match.group(3)),
+                match.group(4).strip(),
+            )
+    return rows
+
+
+@pytest.mark.parametrize("uarch", _E7_UARCHES)
+def test_e7_table1_rows_match_golden(uarch, e7_surveys):
+    golden_rows = _parse_e7_rows(_golden("E7_table1_%s.txt" % uarch))
+    assert set(golden_rows) == {1, 2, 3}, "golden table lost its rows"
+    survey = e7_surveys[uarch]
+    for level, (size_bytes, associativity, measured) in golden_rows.items():
+        got = survey.levels[level]
+        assert got.size_bytes == size_bytes, level
+        assert got.associativity == associativity, level
+        assert got.display_policy == measured, level

@@ -1,0 +1,111 @@
+"""Property-based tests for the measurement-aggregation primitives.
+
+Uses hypothesis to check the algebraic properties that
+``aggregate_values`` (Section III-F aggregate functions) and
+``split_into_groups`` (Section III-J counter multiplexing) must hold
+for *every* input, not just the examples in the unit tests.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import aggregate_values
+from repro.perfctr.config import split_into_groups
+from repro.perfctr.events import PerfEvent
+
+#: Finite, well-ordered floats; NaN/inf never reach the aggregator
+#: (counter values come from the simulated PMU).
+_values = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40,
+)
+
+_AGGREGATES = ("min", "med", "avg")
+
+
+# ----------------------------------------------------------------------
+# aggregate_values
+# ----------------------------------------------------------------------
+class TestAggregateProperties:
+    @given(values=_values, how=st.sampled_from(_AGGREGATES),
+           seed=st.randoms())
+    def test_permutation_invariant(self, values, how, seed):
+        shuffled = list(values)
+        seed.shuffle(shuffled)
+        assert aggregate_values(shuffled, how) == \
+            aggregate_values(values, how)
+
+    @given(values=_values)
+    def test_min_le_median_and_trimmed_mean(self, values):
+        minimum = aggregate_values(values, "min")
+        median = aggregate_values(values, "med")
+        trimmed = aggregate_values(values, "avg")
+        assert minimum <= median or math.isclose(minimum, median)
+        assert minimum <= trimmed or math.isclose(minimum, trimmed)
+        assert median <= max(values) or math.isclose(median, max(values))
+        assert trimmed <= max(values) or math.isclose(trimmed, max(values))
+
+    @given(value=st.floats(min_value=-1e9, max_value=1e9,
+                           allow_nan=False, allow_infinity=False),
+           how=st.sampled_from(_AGGREGATES))
+    def test_single_element_is_identity(self, value, how):
+        assert aggregate_values([value], how) == value
+
+    @given(value=st.floats(min_value=-1e9, max_value=1e9,
+                           allow_nan=False, allow_infinity=False),
+           n=st.integers(min_value=1, max_value=30),
+           how=st.sampled_from(_AGGREGATES))
+    def test_constant_series_is_identity(self, value, n, how):
+        result = aggregate_values([value] * n, how)
+        assert result == value or math.isclose(result, value)
+
+
+# ----------------------------------------------------------------------
+# split_into_groups
+# ----------------------------------------------------------------------
+def _event(index: int, uncore: bool) -> PerfEvent:
+    return PerfEvent("EVT_%d" % index, index % 256, index % 4,
+                     "metric_%d" % index, uncore=uncore)
+
+
+_event_lists = st.lists(st.booleans(), min_size=0, max_size=24).map(
+    lambda flags: [_event(i, uncore) for i, uncore in enumerate(flags)]
+)
+
+
+class TestSplitIntoGroupsProperties:
+    @given(events=_event_lists, n_programmable=st.integers(1, 8))
+    def test_every_event_exactly_once(self, events, n_programmable):
+        groups = split_into_groups(events, n_programmable)
+        flattened = [event for group in groups for event in group]
+        assert sorted(e.name for e in flattened) == \
+            sorted(e.name for e in events)
+        assert len(flattened) == len(events)
+
+    @given(events=_event_lists, n_programmable=st.integers(1, 8))
+    def test_no_group_exceeds_programmable_counters(self, events,
+                                                    n_programmable):
+        for group in split_into_groups(events, n_programmable):
+            core_in_group = [e for e in group if not e.uncore]
+            assert len(core_in_group) <= n_programmable
+
+    @given(events=_event_lists, n_programmable=st.integers(1, 8))
+    def test_core_order_preserved(self, events, n_programmable):
+        groups = split_into_groups(events, n_programmable)
+        core_out = [e for group in groups for e in group if not e.uncore]
+        core_in = [e for e in events if not e.uncore]
+        assert core_out == core_in
+
+    @given(events=_event_lists, n_programmable=st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_uncore_rides_along_with_first_group(self, events,
+                                                 n_programmable):
+        groups = split_into_groups(events, n_programmable)
+        uncore = [e for e in events if e.uncore]
+        if uncore:
+            assert set(uncore) <= set(groups[0])
+        for group in groups[1:]:
+            assert all(not e.uncore for e in group)
