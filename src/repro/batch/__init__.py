@@ -9,6 +9,8 @@ pool, memoizes assembly/codegen per worker, and streams bit-identical
 (to serial execution) results back in order.
 """
 
+from .checkpoint import CheckpointJournal, spec_digest
+from .pool import ItemOutcome, ResilientPool
 from .runner import (
     BatchReport,
     BatchRunner,
@@ -23,8 +25,12 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "BenchmarkSpec",
+    "CheckpointJournal",
+    "ItemOutcome",
+    "ResilientPool",
     "default_jobs",
     "parallel_map",
     "run_batch",
+    "spec_digest",
     "spec_from_run_kwargs",
 ]

@@ -1,0 +1,129 @@
+"""JSONL checkpoint journal for resumable corpus sweeps.
+
+A corpus sweep of thousands of specs can be interrupted — machine
+reboot, OOM kill, a chaos-plane worker massacre.  The journal makes
+that cheap: :class:`BatchRunner` appends **one JSON line per completed
+spec** (keyed by a content digest of the spec), and a restarted run
+replays completed specs from the journal instead of re-executing them.
+
+Byte-identical resume: ``json`` serializes floats with ``repr`` (the
+shortest round-tripping form), so a value read back from the journal is
+bit-equal to the value originally measured, and a killed-then-resumed
+sweep produces results identical to an uninterrupted one.
+
+The journal is append-only and tolerates a torn final line (the
+interrupted write of the run it is recovering from): trailing garbage
+is ignored with a warning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from typing import Dict, Optional
+
+from .spec import BatchResult, BenchmarkSpec
+
+#: Journal format version, embedded in every record.
+JOURNAL_VERSION = 1
+
+#: BatchResult fields copied verbatim into / out of a journal record.
+_RESULT_FIELDS = (
+    "error", "host_seconds", "program_runs", "counter_groups",
+    "simulated_cycles", "assemble_hits", "assemble_misses",
+    "generate_hits", "generate_misses", "attempts",
+)
+
+
+def spec_digest(spec: BenchmarkSpec) -> str:
+    """Content digest identifying one spec across processes and runs."""
+    identity = repr((
+        spec.asm, spec.asm_init, spec.events, spec.uarch, spec.seed,
+        spec.kernel_mode, spec.options, spec.label,
+    ))
+    return hashlib.sha256(identity.encode()).hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed :class:`BatchResult`\\ s."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """Records of completed specs, keyed by spec digest.
+
+        Missing file means a fresh run; a torn trailing line (killed
+        mid-write) is skipped with a warning.
+        """
+        records: Dict[str, dict] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    warnings.warn(
+                        "checkpoint %s: ignoring unparsable line %d "
+                        "(torn write of an interrupted run?)"
+                        % (self.path, line_no)
+                    )
+                    continue
+                digest = record.get("digest")
+                if digest:
+                    records[digest] = record
+        return records
+
+    # ------------------------------------------------------------------
+    def append(self, index: int, spec: BenchmarkSpec,
+               result: BatchResult) -> None:
+        """Journal one completed spec (flushed so a kill loses at most
+        the line being written)."""
+        record = {
+            "v": JOURNAL_VERSION,
+            "digest": spec_digest(spec),
+            "index": index,
+            "label": spec.label,
+            "values": result.values,
+        }
+        for name in _RESULT_FIELDS:
+            record[name] = getattr(result, name)
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        # No sort_keys: the counter order of ``values`` is part of the
+        # result (reports print in measurement order), and JSON objects
+        # round-trip dict insertion order.
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def result_from_record(spec: BenchmarkSpec, record: dict) -> BatchResult:
+    """Rebuild the :class:`BatchResult` a journal record describes."""
+    result = BatchResult(
+        spec=spec,
+        values=dict(record.get("values", {})),
+        replayed=True,
+    )
+    for name in _RESULT_FIELDS:
+        if name in record:
+            setattr(result, name, record[name])
+    return result

@@ -1,10 +1,10 @@
 """The batched benchmark-execution engine.
 
 :class:`BatchRunner` shards a list of :class:`BenchmarkSpec` across a
-``multiprocessing`` worker pool and streams ordered results back.  The
-design follows the scale lessons of the uops.info corpus workflow: at
-thousands of microbenchmarks the bottleneck is harness orchestration,
-not the individual measurement, so the engine
+worker pool and streams ordered results back.  The design follows the
+scale lessons of the uops.info corpus workflow: at thousands of
+microbenchmarks the bottleneck is harness orchestration, not the
+individual measurement, so the engine
 
 * runs each spec on a fresh, deterministically-seeded simulated core
   (results are bit-identical to serial execution, regardless of the
@@ -12,24 +12,39 @@ not the individual measurement, so the engine
 * amortizes assembly and code generation through the per-process LRU
   caches of :mod:`repro.core.codecache` (workers inherit empty caches
   and warm them up as their shard streams through);
-* reports progress via a callback and aggregates per-spec cost
-  accounting into a :class:`BatchReport`.
+* is **self-healing**: worker deaths and per-spec timeouts requeue the
+  affected spec on another worker (:mod:`repro.batch.pool`), transient
+  failures are retried, hard failures are captured per spec instead of
+  aborting the sweep, and an optional JSONL **checkpoint journal**
+  (:mod:`repro.batch.checkpoint`) lets an interrupted sweep resume
+  without re-running completed specs — byte-identical to an
+  uninterrupted run;
+* reports progress via a callback and aggregates per-spec cost and
+  recovery accounting into a :class:`BatchReport`.
 
 :func:`parallel_map` is the generic deterministic sibling used by the
 coarse-grained pipelines (whole-CPU cache surveys, multi-uarch sweeps)
 whose unit of work is a self-contained function call rather than a
-single benchmark.
+single benchmark.  It shares the pool, so it shares the recovery
+semantics: with ``on_error="capture"`` one failing item no longer
+aborts the survey.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union,
+)
+
+from dataclasses import dataclass
 
 from ..core.codecache import cache_stats
+from ..errors import is_retryable
+from ..faults.plan import active_plan
+from .checkpoint import CheckpointJournal, result_from_record, spec_digest
+from .pool import ItemOutcome, ResilientPool, inject_spec_fault, item_fault_key
 from .spec import BatchResult, BenchmarkSpec
 
 #: Progress callback signature: ``(done, total, result)``.
@@ -55,6 +70,14 @@ class BatchReport:
     assemble_misses: int = 0
     generate_hits: int = 0
     generate_misses: int = 0
+    #: Self-healing activity: specs replayed from the checkpoint
+    #: journal, spec executions beyond the first attempt (requeues
+    #: after crashes / hangs / transient errors), worker deaths
+    #: absorbed, and per-spec timeouts enforced.
+    n_replayed: int = 0
+    n_requeues: int = 0
+    n_worker_deaths: int = 0
+    n_timeouts: int = 0
 
     @property
     def benchmarks_per_second(self) -> float:
@@ -66,6 +89,9 @@ class BatchReport:
         self.n_specs += 1
         if not result.ok:
             self.n_errors += 1
+        if result.replayed:
+            self.n_replayed += 1
+        self.n_requeues += max(0, result.attempts - 1)
         self.program_runs += result.program_runs
         self.simulated_cycles += result.simulated_cycles
         self.assemble_hits += result.assemble_hits
@@ -74,10 +100,9 @@ class BatchReport:
         self.generate_misses += result.generate_misses
 
 
-def _execute_indexed(payload: Tuple[int, BenchmarkSpec]) -> Tuple[int, BatchResult]:
+def _execute_spec(spec: BenchmarkSpec) -> BatchResult:
     """Worker entry point: run one spec on a fresh core."""
-    index, spec = payload
-    return index, spec.execute()
+    return spec.execute()
 
 
 class BatchRunner:
@@ -87,15 +112,25 @@ class BatchRunner:
     ----------
     jobs:
         Worker-process count.  ``1`` (the default) runs in-process; any
-        larger value shards the spec list over a ``multiprocessing``
-        pool.  ``None`` means one worker per CPU.
+        larger value shards the spec list over a supervised worker pool
+        (:class:`~repro.batch.pool.ResilientPool`).  ``None`` means one
+        worker per CPU.
     progress:
         Optional ``(done, total, result)`` callback, invoked in spec
         order as results stream in.
-    chunk_size:
-        Specs handed to a worker at a time; larger chunks amortize IPC
-        and raise codegen-cache locality within a worker.  ``None``
-        picks ``ceil(n / (4 * jobs))``, bounded to [1, 32].
+    spec_timeout:
+        Per-spec deadline in seconds (pool mode): a spec whose worker
+        exceeds it is killed and requeued on another worker.  ``None``
+        disables the deadline unless the active fault plan injects
+        worker hangs.
+    max_requeues:
+        How often one spec is requeued (worker death, timeout, or
+        transient error) before its result reports the failure.
+    checkpoint:
+        Path of a JSONL checkpoint journal.  Completed specs are
+        appended as they finish; on the next run with the same path,
+        specs already journaled are replayed instead of re-executed, so
+        an interrupted sweep resumes where it stopped.
     """
 
     def __init__(
@@ -104,10 +139,18 @@ class BatchRunner:
         *,
         progress: Optional[ProgressCallback] = None,
         chunk_size: Optional[int] = None,
+        spec_timeout: Optional[float] = None,
+        max_requeues: int = 2,
+        checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.progress = progress
+        # Retained for API compatibility; the supervised pool hands out
+        # one spec at a time (required for exact crash attribution).
         self.chunk_size = chunk_size
+        self.spec_timeout = spec_timeout
+        self.max_requeues = max_requeues
+        self.checkpoint = os.fspath(checkpoint) if checkpoint else None
         self.last_report = BatchReport()
 
     # ------------------------------------------------------------------
@@ -124,13 +167,35 @@ class BatchRunner:
         self.last_report = report
         started = time.perf_counter()
         total = len(specs)
-        if self.jobs <= 1 or total <= 1:
-            iterator = self._iter_serial(specs)
+
+        journal: Optional[CheckpointJournal] = None
+        replayed: Dict[int, BatchResult] = {}
+        to_run = list(range(total))
+        if self.checkpoint is not None:
+            journal = CheckpointJournal(self.checkpoint)
+            completed = journal.load()
+            to_run = []
+            for index, spec in enumerate(specs):
+                record = completed.get(spec_digest(spec))
+                if record is not None:
+                    replayed[index] = result_from_record(spec, record)
+                else:
+                    to_run.append(index)
+
+        if self.jobs <= 1 or len(to_run) <= 1:
+            fresh = self._iter_serial(specs, to_run)
         else:
-            iterator = self._iter_parallel(specs)
+            fresh = self._iter_pool(specs, to_run)
+
         done = 0
         try:
-            for result in iterator:
+            for index in range(total):
+                if index in replayed:
+                    result = replayed.pop(index)
+                else:
+                    result = next(fresh)
+                    if journal is not None:
+                        journal.append(index, specs[index], result)
                 done += 1
                 report.add(result)
                 report.host_seconds = time.perf_counter() - started
@@ -138,30 +203,60 @@ class BatchRunner:
                     self.progress(done, total, result)
                 yield result
         finally:
+            fresh.close()
+            if journal is not None:
+                journal.close()
             report.host_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
     def _iter_serial(
-        self, specs: Sequence[BenchmarkSpec]
+        self, specs: Sequence[BenchmarkSpec], to_run: Sequence[int]
     ) -> Iterator[BatchResult]:
-        for spec in specs:
-            yield spec.execute()
+        """In-process execution with the same per-item fault/retry
+        semantics as the pool (worker death and hangs need processes
+        and do not apply here)."""
+        plan = active_plan()
+        for index in to_run:
+            attempt = 0
+            while True:
+                try:
+                    inject_spec_fault(plan, item_fault_key(index, attempt))
+                    result = specs[index].execute()
+                except Exception as exc:  # noqa: BLE001 — captured
+                    if is_retryable(exc) and attempt < self.max_requeues:
+                        attempt += 1
+                        continue
+                    result = BatchResult(
+                        spec=specs[index], values={}, error=str(exc)
+                    )
+                result.attempts = attempt + 1
+                break
+            yield result
 
-    def _iter_parallel(
-        self, specs: Sequence[BenchmarkSpec]
+    def _iter_pool(
+        self, specs: Sequence[BenchmarkSpec], to_run: Sequence[int]
     ) -> Iterator[BatchResult]:
-        jobs = min(self.jobs, len(specs))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = max(1, min(32, -(-len(specs) // (4 * jobs))))
-        payloads = list(enumerate(specs))
-        with multiprocessing.Pool(processes=jobs) as pool:
-            # imap (ordered) keeps the stream in spec order while
-            # workers proceed through their shards independently.
-            for index, result in pool.imap(
-                _execute_indexed, payloads, chunksize=chunk
-            ):
+        pool = ResilientPool(
+            _execute_spec,
+            min(self.jobs, len(to_run)),
+            timeout=self.spec_timeout,
+            max_requeues=self.max_requeues,
+        )
+        payloads = [specs[index] for index in to_run]
+        try:
+            for outcome in pool.imap_ordered(payloads):
+                original = to_run[outcome.index]
+                if outcome.ok:
+                    result = outcome.value
+                else:
+                    result = BatchResult(
+                        spec=specs[original], values={}, error=outcome.error
+                    )
+                result.attempts = outcome.attempts
                 yield result
+        finally:
+            self.last_report.n_worker_deaths += pool.deaths
+            self.last_report.n_timeouts += pool.timeouts
 
     # ------------------------------------------------------------------
     def cache_stats(self):
@@ -177,17 +272,18 @@ def run_batch(
     specs: Sequence[BenchmarkSpec],
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    **runner_kwargs,
 ) -> List[BatchResult]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    return BatchRunner(jobs, progress=progress).run(specs)
+    return BatchRunner(jobs, progress=progress, **runner_kwargs).run(specs)
 
 
 # ----------------------------------------------------------------------
 # Generic deterministic fan-out for coarse-grained pipelines
 # ----------------------------------------------------------------------
-def _apply_indexed(payload):
-    index, fn, item = payload
-    return index, fn(item)
+def _apply_payload(payload):
+    fn, item = payload
+    return fn(item)
 
 
 def parallel_map(
@@ -196,30 +292,81 @@ def parallel_map(
     jobs: Optional[int] = 1,
     *,
     progress: Optional[Callable[[int, int, object], None]] = None,
+    on_error: str = "raise",
+    timeout: Optional[float] = None,
+    max_requeues: int = 2,
 ) -> List:
     """Ordered, deterministic map of *fn* over *items*, optionally
     sharded across worker processes.
 
     *fn* must be picklable (a module-level function) when ``jobs > 1``.
-    Results are returned in input order; exceptions propagate.
+    Results are returned in input order.
+
+    ``on_error`` selects the failure semantics:
+
+    * ``"raise"`` (default, backwards compatible): the first failing
+      item raises — in pool mode the worker's exception is re-raised
+      in the parent after a clean pool shutdown.
+    * ``"capture"``: every item yields an
+      :class:`~repro.batch.pool.ItemOutcome` wrapper (``.ok`` /
+      ``.value`` / ``.error``, mirroring ``BatchResult.ok``) so one
+      failing item no longer aborts a whole survey.
+
+    Both modes share the pool's recovery semantics: dead workers are
+    respawned and their item requeued, transient errors retried, hung
+    items killed after *timeout* seconds, and ``KeyboardInterrupt``
+    tears the pool down cleanly instead of orphaning workers.
     """
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture'")
     items = list(items)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     total = len(items)
     results: List = []
+
+    def emit(done: int, outcome: ItemOutcome):
+        if not outcome.ok and on_error == "raise" \
+                and outcome.exception is not None:
+            raise outcome.exception
+        value = outcome if on_error == "capture" else outcome.value
+        results.append(value)
+        if progress is not None:
+            progress(done, total, value)
+
     if jobs <= 1 or total <= 1:
+        plan = active_plan()
         for done, item in enumerate(items, start=1):
-            value = fn(item)
-            results.append(value)
-            if progress is not None:
-                progress(done, total, value)
+            index = done - 1
+            attempt = 0
+            while True:
+                try:
+                    inject_spec_fault(plan, item_fault_key(index, attempt))
+                    value = fn(item)
+                except Exception as exc:  # noqa: BLE001 — captured
+                    if is_retryable(exc) and attempt < max_requeues:
+                        attempt += 1
+                        continue
+                    if on_error == "raise":
+                        raise
+                    outcome = ItemOutcome(
+                        index, False, error=str(exc),
+                        error_type=type(exc).__name__,
+                        attempts=attempt + 1,
+                    )
+                else:
+                    outcome = ItemOutcome(
+                        index, True, value=value, attempts=attempt + 1
+                    )
+                break
+            emit(done, outcome)
         return results
-    payloads = [(i, fn, item) for i, item in enumerate(items)]
-    with multiprocessing.Pool(processes=min(jobs, total)) as pool:
-        for done, (index, value) in enumerate(
-            pool.imap(_apply_indexed, payloads), start=1
-        ):
-            results.append(value)
-            if progress is not None:
-                progress(done, total, value)
+
+    pool = ResilientPool(
+        _apply_payload, min(jobs, total),
+        timeout=timeout, max_requeues=max_requeues,
+    )
+    for done, outcome in enumerate(
+        pool.imap_ordered([(fn, item) for item in items]), start=1
+    ):
+        emit(done, outcome)
     return results

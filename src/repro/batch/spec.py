@@ -117,6 +117,12 @@ class BatchResult:
     assemble_misses: int = 0
     generate_hits: int = 0
     generate_misses: int = 0
+    #: Executions of this spec including requeues after worker crashes,
+    #: hangs, and transient (injected) failures.
+    attempts: int = 1
+    #: True when the result was replayed from a checkpoint journal
+    #: instead of being executed in this run.
+    replayed: bool = False
 
     @property
     def ok(self) -> bool:

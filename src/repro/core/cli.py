@@ -20,12 +20,14 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from ..faults.plan import FaultPlan
 from ..perfctr.config import example_skylake_config, parse_config_file
 from ..perfctr.events import event_catalog
 from ..x86.decoder import decode_program
 from .nanobench import NanoBench
 from .options import NanoBenchOptions
 from .output import format_results
+from .retry import RetryPolicy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-jobs", type=int, default=1,
                         help="worker processes for -batch (default 1; "
                              "0 = one per CPU)")
+    # Self-healing / chaos-plane knobs.
+    parser.add_argument("-retries", type=int, default=3, metavar="N",
+                        help="attempts per counter group before a "
+                             "transient failure is fatal (default 3)")
+    parser.add_argument("-spec_timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-benchmark deadline in -batch mode; a "
+                             "benchmark exceeding it is requeued on "
+                             "another worker")
+    parser.add_argument("-max_requeues", type=int, default=2, metavar="N",
+                        help="requeues per benchmark after worker "
+                             "deaths/timeouts in -batch mode (default 2)")
+    parser.add_argument("-checkpoint", default=None, metavar="FILE",
+                        help="JSONL journal for -batch mode: completed "
+                             "benchmarks are recorded and an interrupted "
+                             "sweep resumes from FILE instead of "
+                             "re-running them")
+    parser.add_argument("-faults", default=None, metavar="SPEC",
+                        help="activate the fault-injection plane: "
+                             "'chaos' or 'site=rate,site=rate' "
+                             "(e.g. 'worker.death=0.1')")
+    parser.add_argument("-fault_seed", type=int, default=0,
+                        help="seed of the deterministic fault plane")
     return parser
 
 
@@ -88,6 +113,18 @@ def parse_batch_file(path: str) -> List[Tuple[str, str]]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print("invalid -faults spec: %s" % exc, file=sys.stderr)
+            return 1
+        with plan:
+            return _main_with_args(args)
+    return _main_with_args(args)
+
+
+def _main_with_args(args) -> int:
     options = NanoBenchOptions(
         unroll_count=args.unroll_count,
         loop_count=args.loop_count,
@@ -103,7 +140,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         verbose=args.verbose,
     )
     factory = NanoBench.kernel if args.kernel else NanoBench.user
-    nb = factory(uarch=args.uarch, seed=args.seed, options=options)
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
+    nb = factory(uarch=args.uarch, seed=args.seed, options=options,
+                 retry=retry)
 
     config = None
     if args.config is not None:
@@ -173,7 +212,13 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
             print("# [%d/%d] %s" % (done, total, result.spec.asm),
                   file=sys.stderr)
 
-    runner = BatchRunner(jobs, progress=progress)
+    runner = BatchRunner(
+        jobs,
+        progress=progress,
+        spec_timeout=args.spec_timeout,
+        max_requeues=args.max_requeues,
+        checkpoint=args.checkpoint,
+    )
     status = 0
     for result in runner.iter_results(specs):
         print("## %s" % (result.spec.asm or "<empty>"))
@@ -193,6 +238,15 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
            report.generate_hits, report.generate_misses),
         file=sys.stderr,
     )
+    if report.n_replayed or report.n_requeues or report.n_worker_deaths \
+            or report.n_timeouts:
+        print(
+            "# recovery: %d replayed from checkpoint, %d requeues, "
+            "%d worker deaths, %d timeouts"
+            % (report.n_replayed, report.n_requeues,
+               report.n_worker_deaths, report.n_timeouts),
+            file=sys.stderr,
+        )
     return status
 
 

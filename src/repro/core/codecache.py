@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..faults.plan import active_plan
 from ..x86.assembler import assemble
 from ..x86.instructions import Program
 from .codegen import CounterRead, GeneratedCode, generate
@@ -37,16 +38,32 @@ DEFAULT_GENERATE_CACHE_SIZE = 1024
 
 
 class LRUCache:
-    """A bounded mapping with least-recently-used eviction and stats."""
+    """A bounded mapping with least-recently-used eviction and stats.
 
-    def __init__(self, maxsize: int) -> None:
+    Entries carry a content fingerprint taken at insertion.  When a
+    fault plan is active, every hit re-fingerprints the entry and a
+    mismatch — e.g. the chaos plane's ``cache.corrupt`` fault flipping
+    a stored fingerprint — discards the entry and rebuilds it from the
+    factory (``repairs``), so a corrupted cache degrades to a miss
+    instead of serving a wrong program.  Fault-free runs skip the
+    verification entirely (zero overhead on the hot path).
+    """
+
+    def __init__(self, maxsize: int,
+                 fingerprint: Optional[Callable[[object], object]] = None,
+                 name: str = "") -> None:
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
+        self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.repairs = 0
+        self._fingerprint = fingerprint
+        #: key -> (value, fingerprint-at-insert)
         self._entries: "OrderedDict" = OrderedDict()
+        self._hit_count = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -54,20 +71,37 @@ class LRUCache:
     def __contains__(self, key) -> bool:
         return key in self._entries
 
+    def _insert(self, key, factory: Callable[[], object]):
+        value = factory()
+        mark = self._fingerprint(value) if self._fingerprint else None
+        self._entries[key] = (value, mark)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
     def get_or_create(self, key, factory: Callable[[], object]):
         """Return the cached value for *key*, creating it on a miss."""
         try:
-            value = self._entries[key]
+            value, mark = self._entries[key]
         except KeyError:
             self.misses += 1
-            value = factory()
-            self._entries[key] = value
-            if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            return value
+            return self._insert(key, factory)
         self.hits += 1
         self._entries.move_to_end(key)
+        plan = active_plan()
+        if plan is not None and self._fingerprint is not None:
+            self._hit_count += 1
+            if plan.fires("cache.corrupt",
+                          "%s#%d" % (self.name, self._hit_count)):
+                # Corrupt the stored entry in place: scramble its
+                # fingerprint so verification below must catch it.
+                mark = ("corrupted", mark)
+                self._entries[key] = (value, mark)
+            if self._fingerprint(value) != mark:
+                self.repairs += 1
+                del self._entries[key]
+                return self._insert(key, factory)
         return value
 
     def resize(self, maxsize: int) -> None:
@@ -83,6 +117,8 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.repairs = 0
+        self._hit_count = 0
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -91,11 +127,20 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "repairs": self.repairs,
         }
 
 
-_assemble_cache = LRUCache(DEFAULT_ASSEMBLE_CACHE_SIZE)
-_generate_cache = LRUCache(DEFAULT_GENERATE_CACHE_SIZE)
+# str(Program) round-trips the full instruction stream, so it doubles
+# as the integrity fingerprint of cached programs.
+_assemble_cache = LRUCache(
+    DEFAULT_ASSEMBLE_CACHE_SIZE, fingerprint=str, name="assemble"
+)
+_generate_cache = LRUCache(
+    DEFAULT_GENERATE_CACHE_SIZE,
+    fingerprint=lambda generated: str(generated.program),
+    name="generate",
+)
 
 
 def cached_assemble(source: str) -> Program:

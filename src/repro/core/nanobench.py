@@ -24,16 +24,26 @@ Features implemented per the paper:
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import NanoBenchError
+from ..errors import (
+    AllocationError,
+    NanoBenchError,
+    UnschedulableEventError,
+)
+from ..faults.plan import active_plan
 from ..perfctr.config import CounterConfig, split_into_groups
 from ..perfctr.counters import (
+    FIXED_WRAP,
     MSR_IA32_APERF,
     MSR_IA32_MPERF,
     MSR_UNCORE_CBOX_BASE,
+    OVERFLOW_SUSPECT_THRESHOLD,
+    PROGRAMMABLE_WRAP,
+    delta_suspicious,
 )
 from ..perfctr.events import PerfEvent, event_catalog
 from ..uarch.core import SimulatedCore
@@ -53,6 +63,11 @@ from .codegen import (
     SCRATCH_REGISTERS,
 )
 from .options import NanoBenchOptions
+from .retry import (
+    RetryPolicy,
+    TransientRetryWarning,
+    UnschedulableEventWarning,
+)
 from .runner import aggregate_values, run_measurements
 
 #: Wall-clock cost model for the Section III-K experiment, calibrated to
@@ -84,6 +99,17 @@ class ExecutionReport:
     assemble_misses: int = 0
     generate_hits: int = 0
     generate_misses: int = 0
+    #: Self-healing activity of this call: transient failures absorbed
+    #: by the retry policy, contaminated runs (counter wraparound,
+    #: frequency transitions) discarded and re-run, and events skipped
+    #: by graceful degradation.
+    retries: int = 0
+    discarded_runs: int = 0
+    #: Negative counter deltas recovered exactly by adding back the
+    #: counter's wrap width (a wrapped counter is exact modulo 2^40 /
+    #: 2^48, so no information is lost and no run is discarded).
+    corrected_wraps: int = 0
+    skipped_events: Tuple[str, ...] = ()
 
     def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
         """Modelled wall-clock time of the equivalent native invocation."""
@@ -102,10 +128,18 @@ class NanoBench:
         *,
         kernel_mode: bool = True,
         options: Optional[NanoBenchOptions] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.core = core
         self.kernel_mode = kernel_mode
         self.options = options if options is not None else NanoBenchOptions()
+        #: Self-healing policy: bounded retries with deterministic
+        #: backoff for :class:`~repro.errors.TransientError`, plus
+        #: graceful degradation of unschedulable events.
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._fault_counters: Dict[str, int] = {}
+        self._discarded_runs = 0
+        self._corrected_wraps = 0
         self._r14_size = AREA_SIZE
         self._r14_physical_base: Optional[int] = None
         self._map_scratch_areas()
@@ -122,17 +156,19 @@ class NanoBench:
     # ------------------------------------------------------------------
     @classmethod
     def kernel(cls, uarch: str = "Skylake", seed: int = 0,
-               options: Optional[NanoBenchOptions] = None) -> "NanoBench":
+               options: Optional[NanoBenchOptions] = None,
+               retry: Optional[RetryPolicy] = None) -> "NanoBench":
         """Create the kernel-space variant on a fresh simulated CPU."""
         return cls(SimulatedCore(uarch, seed=seed), kernel_mode=True,
-                   options=options)
+                   options=options, retry=retry)
 
     @classmethod
     def user(cls, uarch: str = "Skylake", seed: int = 0,
-             options: Optional[NanoBenchOptions] = None) -> "NanoBench":
+             options: Optional[NanoBenchOptions] = None,
+             retry: Optional[RetryPolicy] = None) -> "NanoBench":
         """Create the user-space variant on a fresh simulated CPU."""
         return cls(SimulatedCore(uarch, seed=seed), kernel_mode=False,
-                   options=options)
+                   options=options, retry=retry)
 
     # ------------------------------------------------------------------
     # Memory areas (Section III-G)
@@ -209,7 +245,7 @@ class NanoBench:
     def _event_counter_read(self, event: PerfEvent, slot: int) -> CounterRead:
         if event.uncore:
             if not self.kernel_mode:
-                raise NanoBenchError(
+                raise UnschedulableEventError(
                     "uncore counters can only be read in kernel space"
                 )
             return CounterRead(event.name, "msr", self._uncore_msr_index(event))
@@ -239,6 +275,8 @@ class NanoBench:
         """
         started = time.perf_counter()
         stats_before = cache_stats()
+        self._discarded_runs = 0
+        self._corrected_wraps = 0
         options = (
             replace(self.options, **option_overrides)
             if option_overrides else self.options
@@ -256,15 +294,33 @@ class NanoBench:
 
         results: "OrderedDict[str, float]" = OrderedDict()
         report = ExecutionReport(counter_groups=len(groups))
+        skipped_events: List[str] = []
         cycles_before = self.core.current_cycle
+
+        def _note_retry(attempt: int, error: BaseException) -> None:
+            report.retries += 1
+            warnings.warn(TransientRetryWarning(attempt, error))
+
         for group in groups:
-            group_result, runs = self._run_group(
-                benchmark, init_program, group, options
+            def _attempt(group=group):
+                self._maybe_inject_alloc_fault()
+                return self._run_group(
+                    benchmark, init_program, group, options
+                )
+
+            group_result, runs, skipped = self.retry.call(
+                _attempt, on_retry=_note_retry
             )
             report.program_runs += runs
+            for name in skipped:
+                if name not in skipped_events:
+                    skipped_events.append(name)
             for name, value in group_result.items():
                 if name not in results:
                     results[name] = value
+        report.skipped_events = tuple(skipped_events)
+        report.discarded_runs = self._discarded_runs
+        report.corrected_wraps = self._corrected_wraps
         report.simulated_cycles = self.core.current_cycle - cycles_before
         report.host_seconds = time.perf_counter() - started
         stats_after = cache_stats()
@@ -304,19 +360,80 @@ class NanoBench:
         return tuple(resolved)
 
     # ------------------------------------------------------------------
+    # Fault plumbing (the chaos plane's in-process injection points)
+    # ------------------------------------------------------------------
+    def _fault_key(self, site: str) -> str:
+        """Per-instance monotone key: deterministic for a fresh core,
+        independent of what other instances in the process are doing."""
+        count = self._fault_counters.get(site, 0)
+        self._fault_counters[site] = count + 1
+        return "nb#%d" % count
+
+    def _maybe_inject_alloc_fault(self) -> None:
+        plan = active_plan()
+        if plan is None or not self.kernel_mode:
+            return
+        if plan.fires("kernel.alloc", self._fault_key("kernel.alloc")):
+            raise AllocationError(
+                "injected transient kmalloc failure (chaos plane); "
+                "the real tool proposes a reboot"
+            )
+
+    def _run_validator(self, counter_reads: Sequence[CounterRead]):
+        """The per-run contamination check, active only under a fault
+        plan (fault-free runs must stay byte-identical to the seed).
+
+        Rejects wraparound artefacts (negative or implausibly large
+        deltas) and — when APERF/MPERF are measured — runs whose
+        core/reference clock ratio shifted mid-run (P-state change).
+        """
+        if active_plan() is None:
+            return None
+        check_freq = any(read.name == "APERF" for read in counter_reads)
+        ratio = self.core.spec.reference_clock_ratio
+
+        def _valid(measurement: Dict[str, float]) -> bool:
+            for value in measurement.values():
+                if delta_suspicious(value):
+                    return False
+            if check_freq:
+                aperf = measurement.get("APERF", 0.0)
+                mperf = measurement.get("MPERF", 0.0)
+                if aperf > 0 and abs(mperf - aperf * ratio) > (
+                        0.02 * max(mperf, aperf * ratio) + 4.0):
+                    return False
+            return True
+
+        return _valid
+
+    # ------------------------------------------------------------------
     def _run_group(
         self,
         benchmark: Program,
         init_program: Program,
         group: Tuple[PerfEvent, ...],
         options: NanoBenchOptions,
-    ) -> Tuple["OrderedDict[str, float]", int]:
-        """Measure one counter-configuration group (both code versions)."""
+    ) -> Tuple["OrderedDict[str, float]", int, List[str]]:
+        """Measure one counter-configuration group (both code versions).
+
+        Returns ``(results, program_runs, skipped_event_names)`` —
+        events that cannot be scheduled in the current mode are skipped
+        with a structured warning (graceful degradation) when the retry
+        policy allows it, instead of failing the whole run.
+        """
         pmu = self.core.pmu
         counter_reads = self._fixed_counter_reads(options)
+        skipped: List[str] = []
         slot = 0
         for event in group:
-            read = self._event_counter_read(event, slot)
+            try:
+                read = self._event_counter_read(event, slot)
+            except UnschedulableEventError as exc:
+                if not self.retry.degrade:
+                    raise
+                warnings.warn(UnschedulableEventWarning(event.name, str(exc)))
+                skipped.append(event.name)
+                continue
             if read.kind == "programmable":
                 pmu.program(slot, event)
                 slot += 1
@@ -330,6 +447,7 @@ class NanoBench:
         else:
             unroll_pair = (options.unroll_count, 2 * options.unroll_count)
 
+        is_valid = self._run_validator(counter_reads)
         raw_aggregates = []
         total_runs = 0
         self.last_raw_series = {}
@@ -342,8 +460,11 @@ class NanoBench:
                 n_measurements=options.n_measurements,
                 warm_up_count=options.warm_up_count
                 + (options.initial_warm_up_count if local_unroll == unroll_pair[0] else 0),
+                is_valid=is_valid,
             )
-            total_runs += options.n_measurements + options.warm_up_count
+            total_runs += (options.n_measurements + options.warm_up_count
+                           + series.discarded)
+            self._discarded_runs += series.discarded
             self.last_raw_series[local_unroll] = series.values
             raw_aggregates.append(series.aggregate(options.aggregate))
 
@@ -353,7 +474,7 @@ class NanoBench:
             low = raw_aggregates[0].get(read.name, 0.0)
             high = raw_aggregates[1].get(read.name, 0.0)
             result[read.name] = (high - low) / repetitions
-        return result, total_runs
+        return result, total_runs, skipped
 
     # ------------------------------------------------------------------
     def _run_generated_once(
@@ -364,6 +485,25 @@ class NanoBench:
         snapshot = core.regs.snapshot()
         for register, value in SCRATCH_REGISTERS.items():
             core.regs.write(register, value)
+        transition = False
+        plan = active_plan()
+        if plan is not None:
+            if plan.rate("counter.overflow") > 0:
+                key = self._fault_key("counter.overflow")
+                if plan.fires("counter.overflow", key):
+                    # The counters' hidden start offsets sit just below
+                    # the wrap boundary: this run's delta goes negative
+                    # and is recovered exactly modulo the wrap width.
+                    core.pmu.inject_wrap_faults(plan, key)
+            if plan.rate("freq.transition") > 0:
+                key = self._fault_key("freq.transition")
+                if plan.fires("freq.transition", key):
+                    # A P-state change lands mid-run: the core clock
+                    # speeds up relative to the reference clock for
+                    # this run only.
+                    scale = 1.1 + 0.3 * plan.fraction("freq.transition", key)
+                    core.begin_frequency_transition(scale)
+                    transition = True
         if self.kernel_mode:
             core.disable_interrupts()
         try:
@@ -371,6 +511,8 @@ class NanoBench:
         finally:
             if self.kernel_mode:
                 core.enable_interrupts()
+            if transition:
+                core.end_frequency_transition()
             core.regs.restore(snapshot)
             core.reset_timing()
         return self._collect_raw_values(generated)
@@ -383,15 +525,42 @@ class NanoBench:
             for counter, address in zip(generated.counters,
                                         generated.nomem_addresses):
                 raw = memory.read(translate(address), 8)
-                values[counter.name] = float(_to_signed64(raw))
+                values[counter.name] = float(
+                    self._recover_wrapped_delta(counter, _to_signed64(raw))
+                )
         else:
             for counter, a1, a2 in zip(generated.counters,
                                        generated.m1_addresses,
                                        generated.m2_addresses):
                 m1 = memory.read(translate(a1), 8)
                 m2 = memory.read(translate(a2), 8)
-                values[counter.name] = float(m2 - m1)
+                values[counter.name] = float(
+                    self._recover_wrapped_delta(counter, m2 - m1)
+                )
         return values
+
+    _WRAP_BY_KIND = {"fixed": FIXED_WRAP, "programmable": PROGRAMMABLE_WRAP}
+
+    def _recover_wrapped_delta(self, counter: CounterRead, delta: int) -> int:
+        """Undo a single counter wraparound between the two reads.
+
+        A hardware counter that overflows between ``m1`` and ``m2``
+        yields a negative delta, but the true count is exact modulo the
+        counter's width (2^40 fixed, 2^48 programmable) — so the run
+        can be recovered losslessly instead of discarded.  Deltas that
+        stay implausible after correction are left for the run
+        validator to discard.
+        """
+        if delta >= 0:
+            return delta
+        wrap = self._WRAP_BY_KIND.get(counter.kind)
+        if wrap is None:
+            return delta
+        corrected = delta + wrap
+        if 0 <= corrected < OVERFLOW_SUSPECT_THRESHOLD:
+            self._corrected_wraps += 1
+            return corrected
+        return delta
 
 
 def _to_signed64(value: int) -> int:

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import NanoBenchError
+from ..errors import CounterOverflowError, NanoBenchError
 
 
 class AggregateFunction(str, Enum):
@@ -51,6 +51,9 @@ class MeasurementSeries:
     #: ``values[counter_name]`` is one float per (non-warm-up) run.
     values: Dict[str, List[float]]
     n_runs: int
+    #: Contaminated runs (counter wraparound, frequency transitions)
+    #: that were detected, discarded and re-run.
+    discarded: int = 0
 
     def aggregate(self, how: str) -> Dict[str, float]:
         return {
@@ -64,17 +67,44 @@ def run_measurements(
     *,
     n_measurements: int,
     warm_up_count: int = 0,
+    is_valid: Optional[Callable[[Dict[str, float]], bool]] = None,
+    max_extra_runs: Optional[int] = None,
 ) -> MeasurementSeries:
     """Algorithm 2: run, discard warm-ups, collect the rest.
 
     ``run_once`` executes the generated code once and returns the raw
     ``m2 - m1`` counter values of that run.
+
+    ``is_valid`` is the self-healing hook: a run it rejects (counter
+    wraparound producing a negative delta, a mid-run frequency
+    transition skewing APERF/MPERF) is discarded and transparently
+    re-run, so the returned series always holds ``n_measurements``
+    clean runs.  The re-run budget is bounded by ``max_extra_runs``
+    (default ``2 * n_measurements + 8``); exhausting it raises
+    :class:`~repro.errors.CounterOverflowError`, which is transient —
+    a group-level retry can still heal it.
     """
+    if max_extra_runs is None:
+        max_extra_runs = 2 * n_measurements + 8
     collected: Dict[str, List[float]] = {}
-    for i in range(-warm_up_count, n_measurements):
+    for _ in range(warm_up_count):
+        run_once()  # warm-up runs are executed but never recorded
+    kept = 0
+    discarded = 0
+    while kept < n_measurements:
         measurement = run_once()
-        if i < 0:
-            continue  # ignore warm-up runs
+        if is_valid is not None and not is_valid(measurement):
+            discarded += 1
+            if discarded > max_extra_runs:
+                raise CounterOverflowError(
+                    "discarded %d contaminated runs while collecting %d "
+                    "measurements; giving up on this series"
+                    % (discarded, n_measurements)
+                )
+            continue
+        kept += 1
         for name, value in measurement.items():
             collected.setdefault(name, []).append(value)
-    return MeasurementSeries(values=collected, n_runs=n_measurements)
+    return MeasurementSeries(
+        values=collected, n_runs=n_measurements, discarded=discarded
+    )

@@ -1,10 +1,80 @@
-"""Exception hierarchy shared by all repro subpackages."""
+"""Exception hierarchy shared by all repro subpackages.
+
+The hierarchy splits into two branches that the self-healing
+measurement pipeline keys on **by type** (never by string matching):
+
+* :class:`TransientError` — conditions expected to clear on retry:
+  transient kernel allocation failures, counter wraparound, corrupted
+  cache entries, injected chaos faults, dead or hung workers.
+  :class:`~repro.core.retry.RetryPolicy` retries these with bounded
+  deterministic backoff, and the batch plane requeues them.
+* everything else under :class:`ReproError` — fatal for the current
+  request: malformed input, privilege violations, configuration errors.
+  Retrying cannot help; these propagate (or are captured per item by
+  the batch plane without being requeued).
+
+Use :func:`is_retryable` to classify a caught exception.
+"""
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+# ----------------------------------------------------------------------
+# Transient (retryable) branch
+# ----------------------------------------------------------------------
+class TransientError(ReproError):
+    """A failure expected to clear on retry (the retryable branch)."""
+
+
+class AllocationError(TransientError):
+    """Raised when the kernel allocator cannot satisfy a request.
+
+    The simulated greedy kmalloc allocator raises this when it cannot
+    find a physically-contiguous region (the real tool proposes a
+    reboot).  Transient: a retry after a (simulated) reboot — or simply
+    after other allocations were released — can succeed.
+    """
+
+
+class CounterOverflowError(TransientError):
+    """Raised when a measurement cannot be completed because counter
+    wraparound kept contaminating the collected runs.
+
+    Individual wrapped runs are detected (negative or implausibly large
+    deltas) and re-run transparently; this error means the re-run
+    budget was exhausted, which a group-level retry can still heal.
+    """
+
+
+class CacheCorruptionError(TransientError):
+    """Raised when a corrupted codegen-cache entry cannot be repaired.
+
+    Ordinarily corruption is detected by checksum and healed in place
+    by rebuilding the entry; this error is the escalation path.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """A chaos-plane fault injected at spec level (always transient)."""
+
+
+class WorkerCrashError(TransientError):
+    """A batch worker process died while holding a work item.
+
+    The item is requeued onto a fresh worker; this error surfaces only
+    when the requeue budget is exhausted.
+    """
+
+
+class SpecTimeoutError(TransientError):
+    """A work item exceeded its per-spec timeout (hung worker)."""
+
+
+# ----------------------------------------------------------------------
+# Fatal branch
+# ----------------------------------------------------------------------
 class AssemblerError(ReproError):
     """Raised when Intel-syntax assembly text cannot be parsed."""
 
@@ -48,13 +118,19 @@ class NanoBenchError(ReproError):
     """Raised on invalid nanoBench parameters or benchmark failures."""
 
 
-class AllocationError(ReproError):
-    """Raised when the kernel allocator cannot satisfy a request.
+class UnschedulableEventError(NanoBenchError):
+    """Raised when a performance event cannot be scheduled on a counter
+    in the current mode (e.g. an uncore event in user space).
 
-    The simulated greedy kmalloc allocator raises this when it cannot find
-    a physically-contiguous region (the real tool proposes a reboot).
+    :meth:`NanoBench.run` degrades gracefully on this: the event is
+    skipped with a structured warning instead of failing the run.
     """
 
 
 class AnalysisError(ReproError):
     """Raised by the case-study tools when an inference cannot proceed."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Should the self-healing pipeline retry after *exc*?"""
+    return isinstance(exc, TransientError)

@@ -15,12 +15,15 @@ triggers the run and returns the formatted output.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Union
 
 from ..core.nanobench import NanoBench
 from ..core.options import NanoBenchOptions
 from ..core.output import format_results
-from ..errors import NanoBenchError
+from ..core.retry import MeasurementWarning
+from ..errors import AllocationError, NanoBenchError
+from ..faults.plan import active_plan
 from ..perfctr.config import parse_config
 from ..perfctr.events import event_catalog
 from ..uarch.core import SimulatedCore
@@ -57,6 +60,8 @@ class KernelModule:
             core_or_uarch if isinstance(core_or_uarch, SimulatedCore)
             else SimulatedCore(core_or_uarch, seed=seed)
         )
+        self._spec = core.spec
+        self._seed = seed
         self.nanobench = NanoBench(core, kernel_mode=True)
         self._asm = ""
         self._asm_init = ""
@@ -64,6 +69,10 @@ class KernelModule:
         self._code_init: Optional[bytes] = None
         self._config_text: Optional[str] = None
         self.loaded = True
+        #: Simulated machine reboots performed to heal allocation
+        #: failures (the tool's advice for fragmented physical memory).
+        self.reboots = 0
+        self._alloc_faults = 0
 
     # ------------------------------------------------------------------
     def _check_loaded(self) -> None:
@@ -73,6 +82,55 @@ class KernelModule:
     def unload(self) -> None:
         """rmmod: the virtual files disappear."""
         self.loaded = False
+
+    def reboot(self) -> None:
+        """Reboot the simulated machine (fresh, unfragmented memory).
+
+        nanoBench's documented remedy for physically-contiguous
+        allocation failures: the configuration (options, code, config)
+        survives — it lives in the controlling process — while the
+        machine comes back with pristine physical memory.
+        """
+        options = self.nanobench.options
+        retry = self.nanobench.retry
+        r14_size = self.nanobench.r14_size
+        core = SimulatedCore(self._spec, seed=self._seed)
+        self.nanobench = NanoBench(core, kernel_mode=True, options=options,
+                                   retry=retry)
+        if r14_size != self.nanobench.r14_size:
+            self.nanobench.resize_r14_buffer(r14_size)
+        self.reboots += 1
+        self.loaded = True
+
+    def _resize_r14(self, size: int) -> None:
+        """Allocate the R14 buffer, healing allocation failures by
+        rebooting the simulated machine and retrying (bounded by the
+        nanoBench retry policy)."""
+        policy = self.nanobench.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                plan = active_plan()
+                if plan is not None:
+                    self._alloc_faults += 1
+                    if plan.fires("kernel.alloc",
+                                  "module:r14#%d" % self._alloc_faults):
+                        raise AllocationError(
+                            "injected transient contiguous-allocation "
+                            "failure (chaos plane)"
+                        )
+                self.nanobench.resize_r14_buffer(size)
+                return
+            except AllocationError as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                warnings.warn(MeasurementWarning(
+                    "allocation of %d contiguous bytes failed (%s); "
+                    "rebooting the simulated machine and retrying"
+                    % (size, exc)
+                ))
+                self.reboot()
 
     def available_files(self):
         names = sorted(
@@ -113,7 +171,7 @@ class KernelModule:
         elif name == "config":
             self._config_text = str(value)
         elif name == "r14_size":
-            self.nanobench.resize_r14_buffer(int(value))
+            self._resize_r14(int(value))
         elif name == "reset":
             self._asm = self._asm_init = ""
             self._code = self._code_init = None

@@ -22,6 +22,21 @@ from .events import PerfEvent
 
 _WRAP = 1 << 48  # architectural counter width
 
+#: Wrap moduli used by the chaos plane's ``counter.overflow`` fault
+#: class: 48-bit programmable counters, 40-bit fixed counters.
+PROGRAMMABLE_WRAP = _WRAP
+FIXED_WRAP = 1 << 40
+
+#: Any per-run delta at or beyond this magnitude is physically
+#: impossible in the simulation and is treated as a wraparound artefact
+#: (alongside negative deltas) by the self-healing measurement loop.
+OVERFLOW_SUSPECT_THRESHOLD = 1 << 39
+
+
+def delta_suspicious(delta: float) -> bool:
+    """Is a per-run ``m2 - m1`` delta a counter-wraparound artefact?"""
+    return delta < 0 or delta >= OVERFLOW_SUSPECT_THRESHOLD
+
 # MSR addresses (Intel SDM).
 MSR_IA32_PMC0 = 0xC1
 MSR_IA32_PERFEVTSEL0 = 0x186
@@ -81,6 +96,10 @@ class PerformanceMonitoringUnit:
         self.counting_paused = False
         self._pause_base: Dict[str, float] = {}
         self._paused_totals: Dict[str, float] = {}
+        # Chaos plane: active wrap biases (counter id -> bias) modelling
+        # a counter whose hidden start offset sits just below its wrap
+        # boundary (installed via :meth:`inject_wrap_faults`).
+        self._wrap_bias: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Pause / resume (magic byte sequences)
@@ -125,6 +144,9 @@ class PerformanceMonitoringUnit:
         counter = self._programmable[slot]
         counter.event = event
         counter.base = self._counted(event.metric) if event else 0.0
+        # Reprogramming starts a fresh counter session: pending chaos
+        # wrap biases belong to the previous session and are dropped.
+        self._wrap_bias.clear()
 
     def programmed_event(self, slot: int) -> Optional[PerfEvent]:
         return self._programmable[slot].event
@@ -132,10 +154,50 @@ class PerformanceMonitoringUnit:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def inject_wrap_faults(self, plan, key: str) -> None:
+        """Install near-wrap start offsets on all counting counters.
+
+        The chaos plane's ``counter.overflow`` fault pretends each
+        counter's hidden start offset sat just below the wrap boundary.
+        The caller invokes this *between* measurement runs, so the next
+        run's first read lands near the top of the range and its second
+        read wraps to a small value: exactly one ``m2 - m1`` delta goes
+        negative, and every later delta (both reads past the boundary)
+        stays exact.  A negative delta is exact modulo the wrap width,
+        so the measurement layer recovers it losslessly.
+        """
+        targets = [
+            ("fixed%d" % index, _FIXED_METRICS[index], 0.0, FIXED_WRAP)
+            for index in range(len(_FIXED_METRICS))
+        ]
+        targets.extend(
+            ("pmc%d" % slot, counter.event.metric, counter.base,
+             PROGRAMMABLE_WRAP)
+            for slot, counter in enumerate(self._programmable)
+            if counter.event is not None
+        )
+        for counter_id, metric, base, wrap in targets:
+            if counter_id in self._wrap_bias:
+                continue
+            margin = int(
+                plan.fraction("counter.overflow", "%s|%s" % (key, counter_id))
+                * 255
+            ) + 1
+            raw = int(self._counted(metric) - base)
+            self._wrap_bias[counter_id] = (wrap - (raw % wrap) - margin) % wrap
+
+    def _read_with_wrap(self, counter_id: str, raw: int, wrap: int) -> int:
+        """Apply the counter's wrap modulus, plus any injected bias."""
+        bias = self._wrap_bias.get(counter_id)
+        if bias is not None:
+            return (raw + bias) % wrap
+        return raw % wrap
+
     def read_fixed(self, index: int) -> int:
         if not 0 <= index < len(_FIXED_METRICS):
             raise CounterError("fixed counter %d does not exist" % (index,))
-        return int(self._counted(_FIXED_METRICS[index])) % _WRAP
+        raw = int(self._counted(_FIXED_METRICS[index]))
+        return self._read_with_wrap("fixed%d" % index, raw, FIXED_WRAP)
 
     def read_programmable(self, slot: int) -> int:
         if not 0 <= slot < self.n_programmable:
@@ -143,7 +205,8 @@ class PerformanceMonitoringUnit:
         counter = self._programmable[slot]
         if counter.event is None:
             return 0
-        return int(self._counted(counter.event.metric) - counter.base) % _WRAP
+        raw = int(self._counted(counter.event.metric) - counter.base)
+        return self._read_with_wrap("pmc%d" % slot, raw, PROGRAMMABLE_WRAP)
 
     def rdpmc(self, ecx: int, *, kernel_mode: bool) -> int:
         """The RDPMC instruction (fixed counters via bit 30)."""

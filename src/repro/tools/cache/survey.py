@@ -17,6 +17,7 @@ Combines the two identification tools the way Section VI-D does:
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -198,11 +199,25 @@ def survey_cpus(
     CPU, its own seeded RNGs), so the sharded run is bit-identical to
     the serial one.  This is the multi-uarch Table I sweep the batched
     E7 driver uses.
+
+    A CPU whose survey fails (e.g. AMD's undisableable prefetchers,
+    Section VI-D) is reported with a warning and omitted from the
+    returned mapping instead of aborting the whole multi-CPU sweep.
     """
-    surveys = parallel_map(
+    outcomes = parallel_map(
         _survey_one,
         [(uarch, seed, buffer_mb) for uarch in uarchs],
         jobs=jobs,
         progress=progress,
+        on_error="capture",
     )
-    return {uarch: survey for uarch, survey in zip(uarchs, surveys)}
+    surveys: Dict[str, CpuSurvey] = {}
+    for uarch, outcome in zip(uarchs, outcomes):
+        if outcome.ok:
+            surveys[uarch] = outcome.value
+        else:
+            warnings.warn(
+                "survey of %s failed (%s: %s); omitting it from the sweep"
+                % (uarch, outcome.error_type, outcome.error)
+            )
+    return surveys

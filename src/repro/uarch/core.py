@@ -111,6 +111,12 @@ class SimulatedCore:
         self._interrupts_enabled = True
         self._cycle_base = 0
         self._msrs: Dict[int, int] = {}
+        # Frequency-transition state (chaos plane / P-state modelling):
+        # MPERF accumulates at the reference-clock ratio scaled by
+        # ``_mperf_scale``; transitions re-base so MPERF stays monotone.
+        self._mperf_scale = 1.0
+        self._mperf_base = 0.0
+        self._mperf_base_cycle = 0
         #: Performance escape hatch for large cache-analysis sweeps: when
         #: False, the per-µop scheduler is skipped (cycle and port
         #: counters stop advancing) while the functional semantics,
@@ -285,7 +291,37 @@ class SimulatedCore:
         self.metrics.set("core_cycles", float(now))
         self.metrics.set("ref_cycles", now * self.spec.reference_clock_ratio)
         self.metrics.set("aperf", float(now))
-        self.metrics.set("mperf", now * self.spec.reference_clock_ratio)
+        self.metrics.set("mperf", self._mperf_base + (
+            (now - self._mperf_base_cycle)
+            * self.spec.reference_clock_ratio * self._mperf_scale
+        ))
+
+    # ==================================================================
+    # Frequency transitions (P-state changes perturbing APERF/MPERF)
+    # ==================================================================
+    def _rebase_mperf(self) -> None:
+        now = self._cycle_base + self.scheduler.now
+        self._mperf_base += (
+            (now - self._mperf_base_cycle)
+            * self.spec.reference_clock_ratio * self._mperf_scale
+        )
+        self._mperf_base_cycle = now
+
+    def begin_frequency_transition(self, scale: float) -> None:
+        """Shift the core/reference clock ratio by *scale* from now on.
+
+        Models a P-state change hitting mid-measurement: the per-run
+        APERF/MPERF ratio deviates from the spec's reference ratio,
+        which the self-healing measurement loop detects and re-runs.
+        MPERF stays monotone across transitions.
+        """
+        self._rebase_mperf()
+        self._mperf_scale = scale
+
+    def end_frequency_transition(self) -> None:
+        """Return to the nominal clock ratio (monotone re-base)."""
+        self._rebase_mperf()
+        self._mperf_scale = 1.0
 
     def _apply_interrupts(self) -> None:
         if not self._interrupts_enabled:

@@ -80,13 +80,16 @@ class InterferenceModel:
     def poll(self, now: float) -> List[InterruptEvent]:
         """Interrupts that fire by cycle *now* (empty when masked).
 
-        The process starts at cycle 0, so a first poll far into the
-        simulation reports the whole backlog of the elapsed window.
+        The process is armed at the cycle of the first poll (or of
+        re-enabling), not at cycle 0: a core that starts polling deep
+        into the simulation — e.g. after a long interrupt-masked kernel
+        run — must not receive the whole backlog of the elapsed window
+        in one burst.
         """
         if not self.enabled:
             return []
         if self._next_interrupt is None:
-            self._schedule_next(0.0)
+            self._schedule_next(now)
         events: List[InterruptEvent] = []
         config = self.config
         while self._next_interrupt is not None and self._next_interrupt <= now:

@@ -17,6 +17,7 @@ from repro.core.codegen import (
 from repro.core.nanobench import NanoBench
 from repro.core.options import NanoBenchOptions
 from repro.core.output import format_results
+from repro.core.retry import RetryPolicy, UnschedulableEventWarning
 from repro.core.runner import aggregate_values, run_measurements
 from repro.errors import NanoBenchError, PrivilegeError
 from repro.perfctr.config import example_skylake_config
@@ -221,8 +222,21 @@ class TestPrivilege:
         with pytest.raises(PrivilegeError):
             nb_user.run(asm="wbinvd", unroll_count=1)
 
-    def test_user_cannot_read_uncore(self):
+    def test_user_uncore_degrades_to_skip(self):
+        # Graceful degradation: the unschedulable uncore event is
+        # skipped with a structured warning, core events still measured.
         nb_user = NanoBench.user(uarch="Skylake")
+        with pytest.warns(UnschedulableEventWarning):
+            result = nb_user.run(asm="nop", events=["CBOX0_LLC_LOOKUP.ANY"])
+        assert "CBOX0_LLC_LOOKUP.ANY" not in result
+        assert "Core cycles" in result
+        assert nb_user.last_report.skipped_events == (
+            "CBOX0_LLC_LOOKUP.ANY",)
+
+    def test_user_uncore_raises_without_degradation(self):
+        nb_user = NanoBench.user(
+            uarch="Skylake", retry=RetryPolicy(degrade=False)
+        )
         with pytest.raises(NanoBenchError):
             nb_user.run(asm="nop", events=["CBOX0_LLC_LOOKUP.ANY"])
 

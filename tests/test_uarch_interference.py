@@ -17,8 +17,16 @@ class TestPoissonProcess:
         model.disable()
         assert model.poll(1e12) == []
 
+    def test_first_poll_has_no_backlog(self):
+        # Regression: the process is armed at the first poll's cycle,
+        # so a poll deep into the simulation must not deliver the whole
+        # elapsed window as one interrupt burst.
+        model = InterferenceModel(rng=random.Random(0))
+        assert model.poll(1e12) == []
+
     def test_events_eventually_fire(self):
         model = InterferenceModel(rng=random.Random(0))
+        model.poll(0)  # arm the process at cycle 0
         events = model.poll(10_000_000)
         assert events
         for event in events:
@@ -29,6 +37,7 @@ class TestPoissonProcess:
     def test_rate_matches_configuration(self):
         config = InterferenceConfig(mean_interval_cycles=100_000)
         model = InterferenceModel(config, rng=random.Random(1))
+        model.poll(0)  # arm the process at cycle 0
         horizon = 50_000_000
         count = len(model.poll(horizon))
         expected = horizon / config.mean_interval_cycles
@@ -44,10 +53,14 @@ class TestPoissonProcess:
 
     def test_enable_resets_schedule(self):
         model = InterferenceModel(rng=random.Random(3))
+        model.poll(0)
         model.poll(1_000_000)
         model.disable()
         assert model.poll(100_000_000) == []
         model.enable()
+        # Re-arming happens at the next poll: no backlog for the
+        # masked window, then the process fires again.
+        assert model.poll(100_000_000) == []
         assert model.poll(200_000_000)  # fires again
 
 
