@@ -33,17 +33,31 @@ JOURNAL_VERSION = 1
 _RESULT_FIELDS = (
     "error", "host_seconds", "program_runs", "counter_groups",
     "simulated_cycles", "assemble_hits", "assemble_misses",
-    "generate_hits", "generate_misses", "attempts",
+    "generate_hits", "generate_misses", "attempts", "quality_verdict",
 )
 
 
 def spec_digest(spec: BenchmarkSpec) -> str:
     """Content digest identifying one spec across processes and runs."""
-    identity = repr((
+    fields = [
         spec.asm, spec.asm_init, spec.events, spec.uarch, spec.seed,
         spec.kernel_mode, spec.options, spec.label,
-    ))
+    ]
+    # Appended only when set, so journals written before the stability
+    # field existed keep their digests (and stay replayable).
+    if getattr(spec, "stability", ()):
+        fields.append(spec.stability)
+    identity = repr(tuple(fields))
     return hashlib.sha256(identity.encode()).hexdigest()
+
+
+def _record_checksum(record: dict) -> str:
+    """Truncated SHA-256 over the record without its ``sha`` field."""
+    payload = {k: v for k, v in record.items() if k != "sha"}
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:16]
 
 
 class CheckpointJournal:
@@ -78,8 +92,25 @@ class CheckpointJournal:
                     )
                     continue
                 digest = record.get("digest")
-                if digest:
-                    records[digest] = record
+                if not digest:
+                    continue
+                recorded_sha = record.get("sha")
+                if recorded_sha is not None and (
+                        recorded_sha != _record_checksum(record)):
+                    # A corrupted (bit-flipped) record: dropping it just
+                    # means the spec is re-executed on resume.
+                    warnings.warn(
+                        "checkpoint %s: ignoring corrupted line %d "
+                        "(checksum mismatch)" % (self.path, line_no)
+                    )
+                    continue
+                if digest in records and records[digest] != record:
+                    warnings.warn(
+                        "checkpoint %s: line %d duplicates digest %s "
+                        "with different content; keeping the later record"
+                        % (self.path, line_no, digest[:12])
+                    )
+                records[digest] = record
         return records
 
     # ------------------------------------------------------------------
@@ -96,6 +127,7 @@ class CheckpointJournal:
         }
         for name in _RESULT_FIELDS:
             record[name] = getattr(result, name)
+        record["sha"] = _record_checksum(record)
         if self._handle is None:
             self._handle = open(self.path, "a")
         # No sort_keys: the counter order of ``values`` is part of the

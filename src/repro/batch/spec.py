@@ -20,6 +20,7 @@ import time
 from ..core.nanobench import NanoBench
 from ..core.options import NanoBenchOptions
 from ..errors import ReproError
+from ..integrity.stability import StabilityPolicy
 
 
 def _freeze_options(options) -> Tuple[Tuple[str, object], ...]:
@@ -30,6 +31,16 @@ def _freeze_options(options) -> Tuple[Tuple[str, object], ...]:
     if isinstance(options, Mapping):
         return tuple(sorted(options.items()))
     return tuple(options)
+
+
+def _freeze_stability(stability) -> Tuple[Tuple[str, object], ...]:
+    if stability is None:
+        return ()
+    if isinstance(stability, StabilityPolicy):
+        stability = vars(stability)
+    if isinstance(stability, Mapping):
+        return tuple(sorted(stability.items()))
+    return tuple(stability)
 
 
 @dataclass(frozen=True)
@@ -48,10 +59,16 @@ class BenchmarkSpec:
     options: Tuple[Tuple[str, object], ...] = ()
     #: Free-form tag echoed on the result (e.g. ``"latency:ADD"``).
     label: str = ""
+    #: ``StabilityPolicy`` field overrides, frozen like ``options``;
+    #: empty (the default) disables stability control for this spec and
+    #: keeps old journal digests valid.
+    stability: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
         object.__setattr__(self, "options", _freeze_options(self.options))
+        object.__setattr__(self, "stability",
+                           _freeze_stability(self.stability))
 
     @property
     def core_key(self) -> Tuple[str, int, bool]:
@@ -72,12 +89,18 @@ class BenchmarkSpec:
         try:
             if nb is None:
                 nb = self.make_nanobench()
-            values = nb.run(
-                asm=self.asm,
-                asm_init=self.asm_init,
-                events=self.events,
-                **self.option_dict(),
-            )
+            saved_stability = nb.stability
+            if self.stability and nb.stability is None:
+                nb.stability = StabilityPolicy(**dict(self.stability))
+            try:
+                values = nb.run(
+                    asm=self.asm,
+                    asm_init=self.asm_init,
+                    events=self.events,
+                    **self.option_dict(),
+                )
+            finally:
+                nb.stability = saved_stability
             report = nb.last_report
         except (ReproError, ValueError) as exc:
             return BatchResult(
@@ -98,6 +121,8 @@ class BenchmarkSpec:
             assemble_misses=report.assemble_misses,
             generate_hits=report.generate_hits,
             generate_misses=report.generate_misses,
+            quality_verdict=(report.quality.verdict
+                             if report.quality is not None else None),
         )
 
 
@@ -123,6 +148,9 @@ class BatchResult:
     #: True when the result was replayed from a checkpoint journal
     #: instead of being executed in this run.
     replayed: bool = False
+    #: Stability verdict (``stable`` / ``escalated`` /
+    #: ``unstable-quarantined``); None when no policy was active.
+    quality_verdict: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -138,6 +166,7 @@ def spec_from_run_kwargs(
     seed: int = 0,
     kernel_mode: bool = True,
     label: str = "",
+    stability=None,
     **option_overrides,
 ) -> BenchmarkSpec:
     """Build a spec with the same keyword surface as ``NanoBench.run``."""
@@ -150,4 +179,5 @@ def spec_from_run_kwargs(
         kernel_mode=kernel_mode,
         options=_freeze_options(option_overrides),
         label=label,
+        stability=_freeze_stability(stability),
     )

@@ -12,6 +12,10 @@ processes (``-jobs``)::
 
 where each non-comment line of the file is ``asm`` or
 ``asm | asm_init``.
+
+A configuration file can be checked without running anything::
+
+    nanobench validate-config cfg_Skylake.txt -uarch Skylake
 """
 
 from __future__ import annotations
@@ -20,8 +24,14 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from ..errors import ConfigError, ReproError
 from ..faults.plan import FaultPlan
-from ..perfctr.config import example_skylake_config, parse_config_file
+from ..integrity.stability import StabilityPolicy
+from ..perfctr.config import (
+    collect_config_diagnostics,
+    example_skylake_config,
+    parse_config_file,
+)
 from ..perfctr.events import event_catalog
 from ..x86.decoder import decode_program
 from .nanobench import NanoBench
@@ -64,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-no_fixed_counters", dest="fixed_counters",
                         action="store_false")
     parser.add_argument("-aperf_mperf", action="store_true")
+    # Measurement-integrity knobs.
+    parser.add_argument("-stability", action="store_true",
+                        help="adaptive stability control: escalate "
+                             "n_measurements while the raw series is "
+                             "noisy, and stamp the result with a quality "
+                             "verdict (stable / escalated / "
+                             "unstable-quarantined)")
+    parser.add_argument("-max_n_measurements", type=int, default=80,
+                        metavar="N",
+                        help="cap for -stability escalation (default 80)")
+    parser.add_argument("-cycle_budget", type=int, default=None, metavar="N",
+                        help="abort a run after N simulated cycles with a "
+                             "partial-progress report (runaway-benchmark "
+                             "watchdog; default off)")
+    parser.add_argument("-uop_budget", type=int, default=None, metavar="N",
+                        help="abort a run after N issued uops (default off)")
     parser.add_argument("-seed", type=int, default=0)
     parser.add_argument("-verbose", action="store_true")
     parser.add_argument("-batch", default=None, metavar="FILE",
@@ -111,7 +137,55 @@ def parse_batch_file(path: str) -> List[Tuple[str, str]]:
     return entries
 
 
+def run_validate_config(argv: List[str]) -> int:
+    """The ``validate-config`` subcommand: full pre-flight scan of a
+    counter-configuration file, every problem reported at once with
+    ``file:line`` locations."""
+    parser = argparse.ArgumentParser(
+        prog="nanobench validate-config",
+        description="validate a performance-counter configuration file "
+                    "without running any benchmark",
+    )
+    parser.add_argument("config", help="configuration file to check")
+    parser.add_argument("-uarch", default="Skylake",
+                        help="microarchitecture whose event catalogue to "
+                             "validate against (default Skylake)")
+    args = parser.parse_args(argv)
+    from ..uarch.specs import get_spec
+
+    try:
+        spec = get_spec(args.uarch)
+        catalog = event_catalog(spec.family, spec.n_cboxes)
+    except (ReproError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print("error: %s" % (message,), file=sys.stderr)
+        return 1
+    try:
+        with open(args.config) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print("error: cannot read config file %s: %s" % (args.config, exc),
+              file=sys.stderr)
+        return 1
+    diagnostics = collect_config_diagnostics(text, catalog,
+                                             filename=args.config)
+    for diagnostic in diagnostics:
+        print("%s: %s" % (diagnostic.severity, diagnostic.describe()))
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings_ = len(diagnostics) - errors
+    n_events = sum(
+        1 for raw in text.splitlines()
+        if raw.split("#", 1)[0].strip()
+    )
+    print("%s: %d lines checked, %d errors, %d warnings"
+          % (args.config, n_events, errors, warnings_))
+    return 1 if errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "validate-config":
+        return run_validate_config(argv[1:])
     args = build_parser().parse_args(argv)
     if args.faults is not None:
         try:
@@ -125,29 +199,46 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main_with_args(args) -> int:
-    options = NanoBenchOptions(
-        unroll_count=args.unroll_count,
-        loop_count=args.loop_count,
-        n_measurements=args.n_measurements,
-        warm_up_count=args.warm_up_count,
-        initial_warm_up_count=args.initial_warm_up_count,
-        aggregate=args.agg,
-        basic_mode=args.basic_mode,
-        no_mem=args.no_mem,
-        serializer=args.serializer,
-        fixed_counters=args.fixed_counters,
-        aperf_mperf=args.aperf_mperf,
-        verbose=args.verbose,
-    )
+    try:
+        options = NanoBenchOptions(
+            unroll_count=args.unroll_count,
+            loop_count=args.loop_count,
+            n_measurements=args.n_measurements,
+            warm_up_count=args.warm_up_count,
+            initial_warm_up_count=args.initial_warm_up_count,
+            aggregate=args.agg,
+            basic_mode=args.basic_mode,
+            no_mem=args.no_mem,
+            serializer=args.serializer,
+            fixed_counters=args.fixed_counters,
+            aperf_mperf=args.aperf_mperf,
+            verbose=args.verbose,
+            cycle_budget=args.cycle_budget,
+            uop_budget=args.uop_budget,
+        )
+    except ReproError as exc:
+        print("invalid options: %s" % exc, file=sys.stderr)
+        return 1
+    for conflict in options.conflicts():
+        print("warning: %s" % conflict, file=sys.stderr)
+    stability = None
+    if args.stability:
+        stability = StabilityPolicy(
+            max_n_measurements=args.max_n_measurements
+        )
     factory = NanoBench.kernel if args.kernel else NanoBench.user
     retry = RetryPolicy(max_attempts=max(1, args.retries))
     nb = factory(uarch=args.uarch, seed=args.seed, options=options,
-                 retry=retry)
+                 retry=retry, stability=stability)
 
     config = None
     if args.config is not None:
         catalog = event_catalog(nb.core.spec.family, nb.core.spec.n_cboxes)
-        config = parse_config_file(args.config, catalog)
+        try:
+            config = parse_config_file(args.config, catalog)
+        except ConfigError as exc:
+            print("invalid config: %s" % exc, file=sys.stderr)
+            return 1
     elif nb.core.spec.family == "SKL":
         config = example_skylake_config()
 
@@ -162,9 +253,15 @@ def _main_with_args(args) -> int:
         with open(args.code_init, "rb") as handle:
             kwargs["init"] = decode_program(handle.read())
 
-    results = nb.run(asm=args.asm, asm_init=args.asm_init, config=config,
-                     **kwargs)
+    try:
+        results = nb.run(asm=args.asm, asm_init=args.asm_init, config=config,
+                         **kwargs)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
     print(format_results(results))
+    if nb.last_quality is not None:
+        print("# quality: %s" % nb.last_quality.describe(), file=sys.stderr)
     if args.verbose:
         report = nb.last_report
         print(
@@ -192,6 +289,11 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
         return 1
     events = config.names if config is not None else ()
     option_overrides = vars(options)
+    stability_overrides = ()
+    if args.stability:
+        stability_overrides = tuple(sorted(vars(StabilityPolicy(
+            max_n_measurements=args.max_n_measurements
+        )).items()))
     specs = [
         BenchmarkSpec(
             asm=asm,
@@ -202,6 +304,7 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
             kernel_mode=args.kernel,
             options=tuple(sorted(option_overrides.items())),
             label="%d" % index,
+            stability=stability_overrides,
         )
         for index, (asm, asm_init) in enumerate(entries)
     ]
@@ -224,6 +327,8 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
         print("## %s" % (result.spec.asm or "<empty>"))
         if result.ok:
             print(format_results(result.values))
+            if result.quality_verdict is not None:
+                print("# quality: %s" % result.quality_verdict)
         else:
             print("error: %s" % result.error)
             status = 1

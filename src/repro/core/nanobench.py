@@ -35,6 +35,14 @@ from ..errors import (
     UnschedulableEventError,
 )
 from ..faults.plan import active_plan
+from ..integrity.preflight import ensure_program_valid
+from ..integrity.stability import (
+    QualityVerdict,
+    StabilityPolicy,
+    VERDICT_ESCALATED,
+    VERDICT_QUARANTINED,
+    VERDICT_STABLE,
+)
 from ..perfctr.config import CounterConfig, split_into_groups
 from ..perfctr.counters import (
     FIXED_WRAP,
@@ -110,6 +118,11 @@ class ExecutionReport:
     #: 2^48, so no information is lost and no run is discarded).
     corrected_wraps: int = 0
     skipped_events: Tuple[str, ...] = ()
+    #: Stability verdict of this call (None unless a
+    #: :class:`~repro.integrity.stability.StabilityPolicy` is active).
+    quality: Optional[QualityVerdict] = None
+    #: Times the stability policy escalated ``n_measurements``.
+    stability_escalations: int = 0
 
     def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
         """Modelled wall-clock time of the equivalent native invocation."""
@@ -129,6 +142,8 @@ class NanoBench:
         kernel_mode: bool = True,
         options: Optional[NanoBenchOptions] = None,
         retry: Optional[RetryPolicy] = None,
+        preflight: bool = True,
+        stability: Optional[StabilityPolicy] = None,
     ) -> None:
         self.core = core
         self.kernel_mode = kernel_mode
@@ -137,6 +152,14 @@ class NanoBench:
         #: backoff for :class:`~repro.errors.TransientError`, plus
         #: graceful degradation of unschedulable events.
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Pre-flight validation: decode/semantics/privilege/timing
+        #: checks run on the benchmark before any simulation, so broken
+        #: code fails up front (with the same exception the simulator
+        #: would raise mid-run) instead of after warm-up runs.
+        self.preflight = preflight
+        #: Adaptive stability control; ``None`` (the default) keeps
+        #: every existing result byte-identical.
+        self.stability = stability
         self._fault_counters: Dict[str, int] = {}
         self._discarded_runs = 0
         self._corrected_wraps = 0
@@ -150,6 +173,11 @@ class NanoBench:
         #: recent counter group, keyed by localUnrollCount.  Exposed for
         #: noise analyses (e.g. comparing aggregate functions).
         self.last_raw_series: Dict[int, Dict[str, List[float]]] = {}
+        #: Quality verdict of the most recent run (None without a
+        #: stability policy) and running verdict tallies over the
+        #: instance's lifetime (for corpus/survey-level summaries).
+        self.last_quality: Optional[QualityVerdict] = None
+        self.quality_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -157,18 +185,24 @@ class NanoBench:
     @classmethod
     def kernel(cls, uarch: str = "Skylake", seed: int = 0,
                options: Optional[NanoBenchOptions] = None,
-               retry: Optional[RetryPolicy] = None) -> "NanoBench":
+               retry: Optional[RetryPolicy] = None,
+               preflight: bool = True,
+               stability: Optional[StabilityPolicy] = None) -> "NanoBench":
         """Create the kernel-space variant on a fresh simulated CPU."""
         return cls(SimulatedCore(uarch, seed=seed), kernel_mode=True,
-                   options=options, retry=retry)
+                   options=options, retry=retry, preflight=preflight,
+                   stability=stability)
 
     @classmethod
     def user(cls, uarch: str = "Skylake", seed: int = 0,
              options: Optional[NanoBenchOptions] = None,
-             retry: Optional[RetryPolicy] = None) -> "NanoBench":
+             retry: Optional[RetryPolicy] = None,
+             preflight: bool = True,
+             stability: Optional[StabilityPolicy] = None) -> "NanoBench":
         """Create the user-space variant on a fresh simulated CPU."""
         return cls(SimulatedCore(uarch, seed=seed), kernel_mode=False,
-                   options=options, retry=retry)
+                   options=options, retry=retry, preflight=preflight,
+                   stability=stability)
 
     # ------------------------------------------------------------------
     # Memory areas (Section III-G)
@@ -286,13 +320,27 @@ class NanoBench:
         benchmark = code if code is not None else cached_assemble(asm)
         init_program = init if init is not None else cached_assemble(asm_init)
 
+        if self.preflight:
+            # Validate in runtime execution order (init runs first), so
+            # the exception raised up front is the one the simulator
+            # would have raised mid-run.
+            ensure_program_valid(
+                init_program, kernel_mode=self.kernel_mode,
+                timing_table=self.core.timing_table,
+                check_timing=self.core.timing_enabled,
+            )
+            ensure_program_valid(
+                benchmark, kernel_mode=self.kernel_mode,
+                timing_table=self.core.timing_table,
+                check_timing=self.core.timing_enabled,
+            )
+
         perf_events = self._resolve_events(config, events)
         groups = (
             split_into_groups(perf_events, self.core.pmu.n_programmable)
             if perf_events else [()]
         )
 
-        results: "OrderedDict[str, float]" = OrderedDict()
         report = ExecutionReport(counter_groups=len(groups))
         skipped_events: List[str] = []
         cycles_before = self.core.current_cycle
@@ -301,24 +349,56 @@ class NanoBench:
             report.retries += 1
             warnings.warn(TransientRetryWarning(attempt, error))
 
-        for group in groups:
-            def _attempt(group=group):
-                self._maybe_inject_alloc_fault()
-                return self._run_group(
-                    benchmark, init_program, group, options
-                )
+        stability = self.stability
+        quality: Optional[QualityVerdict] = None
+        escalations = 0
+        while True:
+            results: "OrderedDict[str, float]" = OrderedDict()
+            raw_samples: List[Dict[str, List[float]]] = []
+            for group in groups:
+                def _attempt(group=group):
+                    self._maybe_inject_alloc_fault()
+                    return self._run_group(
+                        benchmark, init_program, group, options
+                    )
 
-            group_result, runs, skipped = self.retry.call(
-                _attempt, on_retry=_note_retry
-            )
-            report.program_runs += runs
-            for name in skipped:
-                if name not in skipped_events:
-                    skipped_events.append(name)
-            for name, value in group_result.items():
-                if name not in results:
-                    results[name] = value
+                group_result, runs, skipped = self.retry.call(
+                    _attempt, on_retry=_note_retry
+                )
+                report.program_runs += runs
+                for name in skipped:
+                    if name not in skipped_events:
+                        skipped_events.append(name)
+                for name, value in group_result.items():
+                    if name not in results:
+                        results[name] = value
+                if stability is not None:
+                    raw_samples.extend(self.last_raw_series.values())
+            if stability is None:
+                break
+            offender = stability.worst_offender(raw_samples)
+            if offender is None:
+                verdict = VERDICT_STABLE if not escalations else VERDICT_ESCALATED
+                quality = QualityVerdict(verdict, options.n_measurements,
+                                         escalations)
+                break
+            next_n = stability.next_n_measurements(options.n_measurements)
+            if next_n is None:
+                quality = QualityVerdict(
+                    VERDICT_QUARANTINED, options.n_measurements, escalations,
+                    worst_counter=offender[0], worst_stats=offender[1],
+                )
+                break
+            escalations += 1
+            options = replace(options, n_measurements=next_n)
         report.skipped_events = tuple(skipped_events)
+        report.quality = quality
+        report.stability_escalations = escalations
+        self.last_quality = quality
+        if quality is not None:
+            self.quality_counts[quality.verdict] = (
+                self.quality_counts.get(quality.verdict, 0) + 1
+            )
         report.discarded_runs = self._discarded_runs
         report.corrected_wraps = self._corrected_wraps
         report.simulated_cycles = self.core.current_cycle - cycles_before
@@ -504,6 +584,12 @@ class NanoBench:
                     scale = 1.1 + 0.3 * plan.fraction("freq.transition", key)
                     core.begin_frequency_transition(scale)
                     transition = True
+        scheduler = core.scheduler
+        saved_budgets = (scheduler.cycle_budget, scheduler.uop_budget)
+        if options.cycle_budget is not None:
+            scheduler.cycle_budget = options.cycle_budget
+        if options.uop_budget is not None:
+            scheduler.uop_budget = options.uop_budget
         if self.kernel_mode:
             core.disable_interrupts()
         try:
@@ -515,6 +601,7 @@ class NanoBench:
                 core.end_frequency_transition()
             core.regs.restore(snapshot)
             core.reset_timing()
+            scheduler.cycle_budget, scheduler.uop_budget = saved_budgets
         return self._collect_raw_values(generated)
 
     def _collect_raw_values(self, generated: GeneratedCode) -> Dict[str, float]:

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
-from ..errors import NanoBenchError
+from ..errors import NanoBenchError, ValidationError
 
 AGGREGATES = ("min", "med", "avg")
 SERIALIZERS = ("lfence", "cpuid")
@@ -31,6 +31,10 @@ class NanoBenchOptions:
     * ``serializer`` — LFENCE (default, Section IV-A1) or CPUID.
     * ``fixed_counters`` — measure the three fixed-function counters.
     * ``aperf_mperf`` — also read APERF/MPERF (kernel mode only).
+    * ``cycle_budget`` / ``uop_budget`` — runaway-benchmark watchdogs:
+      per-run simulated-cycle / issued-µop ceilings; exceeding one
+      raises :class:`~repro.errors.RunawayBenchmarkError` with a
+      partial-progress report.  ``None`` (the default) disables them.
     * ``drain_frontend`` — reserved for ablation studies.
     """
 
@@ -46,11 +50,15 @@ class NanoBenchOptions:
     fixed_counters: bool = True
     aperf_mperf: bool = False
     verbose: bool = False
+    cycle_budget: Optional[int] = None
+    uop_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
 
-    def validate(self) -> None:
+    def validate(self, strict: bool = False) -> None:
+        """Per-field validity checks; with ``strict``, cross-field
+        conflicts (see :meth:`conflicts`) are also errors."""
         if self.unroll_count < 1:
             raise NanoBenchError("unroll_count must be >= 1")
         if self.loop_count < 0:
@@ -61,12 +69,51 @@ class NanoBenchOptions:
             raise NanoBenchError("warm-up counts must be >= 0")
         if self.aggregate not in AGGREGATES:
             raise NanoBenchError(
-                "aggregate must be one of %s" % (AGGREGATES,)
+                "unknown aggregate %r: must be one of %s"
+                % (self.aggregate, AGGREGATES)
             )
         if self.serializer not in SERIALIZERS:
             raise NanoBenchError(
                 "serializer must be one of %s" % (SERIALIZERS,)
             )
+        if self.cycle_budget is not None and self.cycle_budget < 1:
+            raise NanoBenchError("cycle_budget must be >= 1 (or None)")
+        if self.uop_budget is not None and self.uop_budget < 1:
+            raise NanoBenchError("uop_budget must be >= 1 (or None)")
+        if strict:
+            conflicts = self.conflicts()
+            if conflicts:
+                raise ValidationError(
+                    "conflicting options: " + "; ".join(conflicts)
+                )
+
+    def conflicts(self) -> List[str]:
+        """Cross-field conflicts: combinations that are individually
+        valid but almost certainly not what the user meant.
+
+        These are advisory by default (the CLI prints them as warnings;
+        ``validate(strict=True)`` turns them into a
+        :class:`~repro.errors.ValidationError`) so existing library
+        callers and results stay byte-identical.
+        """
+        found: List[str] = []
+        if self.n_measurements > 1 and self.warm_up_count >= self.n_measurements:
+            found.append(
+                "warm_up_count (%d) >= n_measurements (%d): more runs are "
+                "discarded as warm-up than are measured"
+                % (self.warm_up_count, self.n_measurements)
+            )
+        if self.cycle_budget is not None and self.cycle_budget < self.unroll_count:
+            found.append(
+                "cycle_budget (%d) < unroll_count (%d): no run can finish "
+                "within the budget" % (self.cycle_budget, self.unroll_count)
+            )
+        if self.uop_budget is not None and self.uop_budget < self.unroll_count:
+            found.append(
+                "uop_budget (%d) < unroll_count (%d): no run can finish "
+                "within the budget" % (self.uop_budget, self.unroll_count)
+            )
+        return found
 
     @property
     def repetitions(self) -> int:

@@ -87,6 +87,36 @@ class DecodingError(ReproError):
     """Raised when a byte sequence cannot be decoded to an instruction."""
 
 
+class ValidationError(ReproError):
+    """Raised by pre-flight validation before any simulation happens.
+
+    Carries the structured list of :class:`ValidationIssue`\\ s found
+    (see :mod:`repro.integrity.preflight`); ``offset`` / ``mnemonic``
+    expose the first issue's location for quick programmatic access.
+    """
+
+    def __init__(self, message, *, issues=()):
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+    def __reduce__(self):
+        return (_rebuild_validation_error, (self.args[0], self.issues))
+
+    @property
+    def offset(self):
+        """Byte (or statement) offset of the first issue, if any."""
+        return self.issues[0].offset if self.issues else None
+
+    @property
+    def mnemonic(self):
+        """Mnemonic involved in the first issue, if any."""
+        return self.issues[0].mnemonic if self.issues else None
+
+
+def _rebuild_validation_error(message, issues):
+    return ValidationError(message, issues=issues)
+
+
 class ExecutionError(ReproError):
     """Raised when the functional simulator cannot execute an instruction."""
 
@@ -100,6 +130,54 @@ class PrivilegeError(ExecutionError):
 
 class MemoryError_(ExecutionError):
     """Raised on invalid simulated memory accesses (unmapped pages)."""
+
+
+class RunawayBenchmarkError(ExecutionError):
+    """A benchmark exceeded one of its progress budgets (watchdog trip).
+
+    Raised by the in-process watchdogs — the scheduler's cycle/µop
+    budgets, the instruction budget of
+    :meth:`~repro.uarch.core.SimulatedCore.run_program`, and the step
+    budgets of the cache/TLB simulators — so an infinite dependency
+    stall or a pathological multi-million-step sweep terminates with a
+    structured partial-progress report instead of hanging the worker.
+
+    Subclasses :class:`ExecutionError` (a runaway program is an
+    execution failure) and is **not** transient: retrying the same
+    benchmark would run away again.
+
+    :ivar budget: which budget tripped (``"cycles"``, ``"uops"``,
+        ``"instructions"``, ``"cache-steps"``, ``"tlb-steps"``).
+    :ivar limit: the budget's configured limit.
+    :ivar progress: partial-progress counters at the moment of the trip.
+    """
+
+    def __init__(self, message, *, budget="", limit=0, progress=None):
+        super().__init__(message)
+        self.budget = budget
+        self.limit = limit
+        self.progress = dict(progress or {})
+
+    def __reduce__(self):
+        return (
+            _rebuild_runaway_error,
+            (self.args[0], self.budget, self.limit, self.progress),
+        )
+
+    def progress_report(self) -> str:
+        """Human-readable one-line partial-progress summary."""
+        parts = ["budget=%s" % self.budget, "limit=%d" % self.limit]
+        parts.extend(
+            "%s=%s" % (key, value)
+            for key, value in sorted(self.progress.items())
+        )
+        return ", ".join(parts)
+
+
+def _rebuild_runaway_error(message, budget, limit, progress):
+    return RunawayBenchmarkError(
+        message, budget=budget, limit=limit, progress=progress
+    )
 
 
 class TimingModelError(ReproError):

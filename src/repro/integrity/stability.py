@@ -1,0 +1,198 @@
+"""Adaptive stability control (integrity pillar 3).
+
+Section III of the paper handles measurement noise with warm-up runs
+and min/median aggregation; this module closes the loop: a
+:class:`StabilityPolicy` inspects the raw per-run series a measurement
+produced, computes robust dispersion statistics (median absolute
+deviation and interquartile range), and decides whether the chosen
+aggregate can be trusted.  :meth:`NanoBench.run` uses it to adaptively
+escalate ``n_measurements`` up to a cap, and stamps every result with a
+machine-readable quality verdict:
+
+* ``stable`` — dispersion within thresholds at the requested
+  ``n_measurements``;
+* ``escalated`` — stable only after the policy raised
+  ``n_measurements``;
+* ``unstable-quarantined`` — still unstable at the cap; the value is
+  reported but flagged so downstream consumers can quarantine it
+  instead of silently averaging noise.
+
+The policy is pure arithmetic over the series (no simulator state), so
+verdicts are deterministic and the default (no policy) leaves every
+existing result byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import NanoBenchError
+
+VERDICT_STABLE = "stable"
+VERDICT_ESCALATED = "escalated"
+VERDICT_QUARANTINED = "unstable-quarantined"
+
+#: Severity order for combining verdicts across measurements.
+_VERDICT_RANK = {VERDICT_STABLE: 0, VERDICT_ESCALATED: 1,
+                 VERDICT_QUARANTINED: 2}
+
+
+def worst_verdict(verdicts: Iterable[Optional[str]]) -> Optional[str]:
+    """The most severe verdict of *verdicts* (``None`` entries ignored)."""
+    worst: Optional[str] = None
+    for verdict in verdicts:
+        if verdict is None:
+            continue
+        if worst is None or _VERDICT_RANK.get(verdict, 2) > _VERDICT_RANK.get(worst, 2):
+            worst = verdict
+    return worst
+
+
+def _median_sorted(values: Sequence[float]) -> float:
+    n = len(values)
+    mid = n // 2
+    if n % 2:
+        return float(values[mid])
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class DispersionStats:
+    """Robust dispersion of one counter's per-run series."""
+
+    n: int
+    median: float
+    mad: float  # median absolute deviation
+    iqr: float  # interquartile range (Q3 - Q1)
+
+    @property
+    def rel_mad(self) -> float:
+        """MAD relative to the median magnitude (floored at 1 count)."""
+        return self.mad / max(abs(self.median), 1.0)
+
+    @property
+    def rel_iqr(self) -> float:
+        return self.iqr / max(abs(self.median), 1.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n, "median": self.median, "mad": self.mad,
+            "iqr": self.iqr, "rel_mad": self.rel_mad,
+            "rel_iqr": self.rel_iqr,
+        }
+
+
+def compute_dispersion(values: Sequence[float]) -> DispersionStats:
+    """MAD and IQR of *values* (exact, no sampling)."""
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    if n == 0:
+        return DispersionStats(0, 0.0, 0.0, 0.0)
+    median = _median_sorted(ordered)
+    deviations = sorted(abs(v - median) for v in ordered)
+    mad = _median_sorted(deviations)
+    q1 = _median_sorted(ordered[:(n + 1) // 2])
+    q3 = _median_sorted(ordered[n // 2:])
+    return DispersionStats(n, median, mad, q3 - q1)
+
+
+@dataclass(frozen=True)
+class StabilityPolicy:
+    """When is a per-run series stable enough to aggregate?
+
+    A counter's series is flagged unstable when its dispersion is large
+    both absolutely (beyond ``abs_floor`` counts — counter granularity
+    noise is never flagged) and relatively (beyond the ``rel_*``
+    thresholds of the median magnitude).
+    """
+
+    rel_mad_threshold: float = 0.05
+    rel_iqr_threshold: float = 0.20
+    abs_floor: float = 1.0
+    escalation_factor: int = 2
+    max_n_measurements: int = 80
+
+    def __post_init__(self) -> None:
+        if self.rel_mad_threshold <= 0 or self.rel_iqr_threshold <= 0:
+            raise NanoBenchError("stability thresholds must be > 0")
+        if self.abs_floor < 0:
+            raise NanoBenchError("abs_floor must be >= 0")
+        if self.escalation_factor < 2:
+            raise NanoBenchError("escalation_factor must be >= 2")
+        if self.max_n_measurements < 1:
+            raise NanoBenchError("max_n_measurements must be >= 1")
+
+    # ------------------------------------------------------------------
+    def is_unstable(self, stats: DispersionStats) -> bool:
+        if stats.n < 3:
+            # Too few runs to judge dispersion; never flag.
+            return False
+        if stats.mad > self.abs_floor and stats.rel_mad > self.rel_mad_threshold:
+            return True
+        return (
+            stats.iqr > 2 * self.abs_floor
+            and stats.rel_iqr > self.rel_iqr_threshold
+        )
+
+    def assess(
+        self, series: Mapping[str, Sequence[float]]
+    ) -> Dict[str, DispersionStats]:
+        """Dispersion statistics per counter of one raw series."""
+        return {
+            name: compute_dispersion(values)
+            for name, values in series.items()
+        }
+
+    def worst_offender(
+        self, samples: Iterable[Mapping[str, Sequence[float]]]
+    ) -> Optional[Tuple[str, DispersionStats]]:
+        """The unstable counter with the largest relative MAD, or None."""
+        worst: Optional[Tuple[str, DispersionStats]] = None
+        for series in samples:
+            for name, stats in self.assess(series).items():
+                if not self.is_unstable(stats):
+                    continue
+                if worst is None or stats.rel_mad > worst[1].rel_mad:
+                    worst = (name, stats)
+        return worst
+
+    def next_n_measurements(self, current: int) -> Optional[int]:
+        """The escalated run count, or None when the cap is reached."""
+        if current >= self.max_n_measurements:
+            return None
+        return min(self.max_n_measurements,
+                   current * self.escalation_factor)
+
+
+@dataclass
+class QualityVerdict:
+    """Machine-readable quality stamp attached to a measurement."""
+
+    verdict: str
+    n_measurements: int
+    escalations: int = 0
+    worst_counter: Optional[str] = None
+    worst_stats: Optional[DispersionStats] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "verdict": self.verdict,
+            "n_measurements": self.n_measurements,
+            "escalations": self.escalations,
+        }
+        if self.worst_counter is not None:
+            record["worst_counter"] = self.worst_counter
+        if self.worst_stats is not None:
+            record["worst_stats"] = self.worst_stats.as_dict()
+        return record
+
+    def describe(self) -> str:
+        text = "%s (n=%d, escalations=%d" % (
+            self.verdict, self.n_measurements, self.escalations
+        )
+        if self.worst_counter is not None and self.worst_stats is not None:
+            text += ", worst %s rel-MAD %.4f" % (
+                self.worst_counter, self.worst_stats.rel_mad
+            )
+        return text + ")"

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import RunawayBenchmarkError
 from .cache import Cache, CacheGeometry
 from .replacement import ReplacementPolicy
 from .slices import SliceHash
@@ -157,6 +158,13 @@ class MemoryHierarchy:
         self.prefetcher = NextLinePrefetcher()
         self.demand = DemandCounters()
         self._line_size = l1.geometry.line_size
+        #: Watchdog: total accesses performed (demand + prefetch).  When
+        #: ``step_budget`` is set (default off), exceeding it raises
+        #: :class:`RunawayBenchmarkError` so a pathological sweep
+        #: terminates with a partial-progress report instead of
+        #: grinding unboundedly.
+        self.steps_taken = 0
+        self.step_budget: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -191,6 +199,14 @@ class MemoryHierarchy:
     def access(self, address: int, *, is_write: bool = False,
                is_prefetch: bool = False) -> AccessResult:
         """Demand (or prefetch) access to physical *address*."""
+        self.steps_taken += 1
+        if self.step_budget is not None and self.steps_taken > self.step_budget:
+            raise RunawayBenchmarkError(
+                "cache-access step budget exceeded: %d accesses (budget %d)"
+                % (self.steps_taken, self.step_budget),
+                budget="cache-steps", limit=self.step_budget,
+                progress=dict(self.demand.snapshot(), steps=self.steps_taken),
+            )
         line = address - address % self._line_size
         l3_slice = None
         if self.l3 is not None:

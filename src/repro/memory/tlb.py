@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..errors import RunawayBenchmarkError
 from .replacement import ReplacementPolicy, make_policy
 
 
@@ -109,8 +110,27 @@ class TlbHierarchy:
         self.stlb = Tlb(stlb, rng=rng)
         self.stlb_hit_penalty = stlb_hit_penalty
         self.walk_penalty = walk_penalty
+        #: Watchdog: lookups performed; when ``step_budget`` is set
+        #: (default off), exceeding it raises
+        #: :class:`RunawayBenchmarkError` with a partial-progress report.
+        self.steps_taken = 0
+        self.step_budget: Optional[int] = None
 
     def access(self, virtual_address: int) -> TlbAccessResult:
+        self.steps_taken += 1
+        if self.step_budget is not None and self.steps_taken > self.step_budget:
+            raise RunawayBenchmarkError(
+                "TLB lookup step budget exceeded: %d lookups (budget %d)"
+                % (self.steps_taken, self.step_budget),
+                budget="tlb-steps", limit=self.step_budget,
+                progress={
+                    "steps": self.steps_taken,
+                    "dtlb_hits": self.dtlb.hits,
+                    "dtlb_misses": self.dtlb.misses,
+                    "stlb_hits": self.stlb.hits,
+                    "stlb_misses": self.stlb.misses,
+                },
+            )
         if self.dtlb.access(virtual_address):
             return TlbAccessResult(True, True, 0)
         if self.stlb.access(virtual_address):

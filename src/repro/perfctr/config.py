@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from .events import PerfEvent, event_catalog, find_event
@@ -30,6 +30,35 @@ from .events import PerfEvent, event_catalog, find_event
 _LINE_RE = re.compile(
     r"^(?:(?P<code>[0-9A-Fa-f]{2}\.[0-9A-Fa-f]{2})\s+)?(?P<name>[A-Za-z0-9_.]+)$"
 )
+
+
+@dataclass(frozen=True)
+class ConfigDiagnostic:
+    """One file:line-precise finding from a configuration scan."""
+
+    line: int  # 1-based; 0 = whole-file findings
+    message: str
+    filename: Optional[str] = None
+    severity: str = "error"  # "error" or "warning"
+
+    def location(self) -> str:
+        if self.filename:
+            return "%s:%d" % (self.filename, self.line)
+        return "line %d" % (self.line,)
+
+    def describe(self) -> str:
+        if self.line == 0 and self.filename is None:
+            return self.message
+        if self.line == 0:
+            return "%s: %s" % (self.filename, self.message)
+        return "%s: %s" % (self.location(), self.message)
+
+
+def _located(message: str, line: int, filename: Optional[str]) -> str:
+    """The message prefixed with its location (old format when no file)."""
+    if filename:
+        return "%s:%d: %s" % (filename, line, message)
+    return "line %d: %s" % (line, message)
 
 
 @dataclass(frozen=True)
@@ -49,8 +78,16 @@ class CounterConfig:
         return tuple(e for e in self.events if e.uncore)
 
 
-def parse_config(text: str, catalog: Dict[str, PerfEvent]) -> CounterConfig:
-    """Parse configuration *text* against an event *catalog*."""
+def parse_config(text: str, catalog: Dict[str, PerfEvent],
+                 filename: Optional[str] = None) -> CounterConfig:
+    """Parse configuration *text* against an event *catalog*.
+
+    The first malformed or unknown line raises a :class:`ConfigError`
+    whose message pins the failure to its exact location —
+    ``file.txt:7: ...`` when *filename* is given, ``line 7: ...``
+    otherwise.  For a full non-raising scan of every problem at once,
+    see :func:`collect_config_diagnostics`.
+    """
     events: List[PerfEvent] = []
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -58,35 +95,111 @@ def parse_config(text: str, catalog: Dict[str, PerfEvent]) -> CounterConfig:
             continue
         match = _LINE_RE.match(line)
         if not match:
-            raise ConfigError(
-                "line %d: cannot parse %r" % (line_number, raw.strip())
-            )
+            raise ConfigError(_located(
+                "cannot parse %r" % (raw.strip(),), line_number, filename
+            ))
         name = match.group("name")
         try:
             event = find_event(catalog, name)
         except KeyError:
             code = match.group("code")
             if code is None:
-                raise ConfigError(
-                    "line %d: unknown event %r" % (line_number, name)
-                )
+                raise ConfigError(_located(
+                    "unknown event %r" % (name,), line_number, filename
+                ))
             try:
                 event = find_event(catalog, code)
             except KeyError:
-                raise ConfigError(
-                    "line %d: unknown event %r (code %s)"
-                    % (line_number, name, code)
-                )
+                raise ConfigError(_located(
+                    "unknown event %r (code %s)" % (name, code),
+                    line_number, filename
+                ))
         if event not in events:
             events.append(event)
     if not events:
+        if filename:
+            raise ConfigError(
+                "%s: configuration contains no events" % (filename,)
+            )
         raise ConfigError("configuration contains no events")
     return CounterConfig(tuple(events))
 
 
+def collect_config_diagnostics(
+    text: str, catalog: Dict[str, PerfEvent],
+    filename: Optional[str] = None,
+) -> List[ConfigDiagnostic]:
+    """Scan a whole configuration and report every problem at once.
+
+    Unlike :func:`parse_config` (which stops at the first error), this
+    keeps going, so a user fixing a config file sees all broken lines
+    in one pass.  Duplicate events and name/code mismatches against the
+    catalogue are reported as warnings (the parser tolerates both).
+    """
+    diagnostics: List[ConfigDiagnostic] = []
+    seen: Dict[str, int] = {}
+    n_events = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            diagnostics.append(ConfigDiagnostic(
+                line_number, "cannot parse %r" % (raw.strip(),), filename
+            ))
+            continue
+        name = match.group("name")
+        code = match.group("code")
+        event = None
+        try:
+            event = find_event(catalog, name)
+        except KeyError:
+            if code is None:
+                diagnostics.append(ConfigDiagnostic(
+                    line_number, "unknown event %r" % (name,), filename
+                ))
+                continue
+            try:
+                event = find_event(catalog, code)
+            except KeyError:
+                diagnostics.append(ConfigDiagnostic(
+                    line_number,
+                    "unknown event %r (code %s)" % (name, code), filename
+                ))
+                continue
+        n_events += 1
+        if code is not None and event.code != code.upper():
+            diagnostics.append(ConfigDiagnostic(
+                line_number,
+                "code %s does not match catalogue code %s for %s"
+                % (code, event.code, event.name),
+                filename, severity="warning",
+            ))
+        if event.name in seen:
+            diagnostics.append(ConfigDiagnostic(
+                line_number,
+                "duplicate event %s (first listed on line %d)"
+                % (event.name, seen[event.name]),
+                filename, severity="warning",
+            ))
+        else:
+            seen[event.name] = line_number
+    if not n_events:
+        diagnostics.append(ConfigDiagnostic(
+            0, "configuration contains no events", filename
+        ))
+    return diagnostics
+
+
 def parse_config_file(path: str, catalog: Dict[str, PerfEvent]) -> CounterConfig:
-    with open(path) as handle:
-        return parse_config(handle.read(), catalog)
+    """Parse a configuration file; diagnostics carry ``path:line``."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigError("cannot read config file %s: %s" % (path, exc))
+    return parse_config(text, catalog, filename=path)
 
 
 def format_config(config: CounterConfig) -> str:

@@ -31,7 +31,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...core.codegen import R14_AREA_BASE
 from ...core.nanobench import NanoBench
-from ...errors import AnalysisError
+from ...errors import AnalysisError, RunawayBenchmarkError
+from ...integrity.watchdog import DEFAULT_STEP_BUDGET, memory_step_budget
 from .addresses import AddressBuilder
 
 _TOKEN_RE = re.compile(r"^(?P<name>[A-Za-z][A-Za-z0-9_]*)(?P<meas>!?)$")
@@ -110,12 +111,19 @@ class CacheSeq:
     """The cacheSeq tool bound to one kernel-space nanoBench instance."""
 
     def __init__(self, nb: NanoBench, level: int = 3,
-                 engine: str = "direct") -> None:
+                 engine: str = "direct",
+                 max_steps: Optional[int] = DEFAULT_STEP_BUDGET) -> None:
         if engine not in ("direct", "nanobench"):
             raise AnalysisError("engine must be 'direct' or 'nanobench'")
         self.nb = nb
         self.level = level
         self.engine = engine
+        #: Runaway-benchmark watchdog: cache accesses allowed per
+        #: :meth:`run` call.  A pathological sequence x set sweep raises
+        #: :class:`~repro.errors.RunawayBenchmarkError` with a
+        #: partial-progress report instead of grinding unboundedly.
+        #: ``None`` disables the check.
+        self.max_steps = max_steps
         self.addresses = AddressBuilder(nb)
         self._eviction_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
 
@@ -179,21 +187,34 @@ class CacheSeq:
             sets = range(self.n_sets)  # Section VI-C: "or in all sets"
         if sets is None:
             sets = [set_index if set_index is not None else 0]
+        sets = list(sets)
         runner = (
             self._run_direct if self.engine == "direct"
             else self._run_nanobench
         )
         total_hits = 0
         total_misses = 0
-        for index in sets:
-            plan = self._plan(seq, index, slice_id)
-            eviction = (
-                self._eviction_buffer(index, slice_id)
-                if self.level > 1 and any(p[2] for p in plan) else []
-            )
-            hits, misses = runner(plan, eviction, seq.wbinvd)
-            total_hits += hits
-            total_misses += misses
+        sets_completed = 0
+        with memory_step_budget(self.nb.core.hierarchy, self.max_steps):
+            try:
+                for index in sets:
+                    plan = self._plan(seq, index, slice_id)
+                    eviction = (
+                        self._eviction_buffer(index, slice_id)
+                        if self.level > 1 and any(p[2] for p in plan) else []
+                    )
+                    hits, misses = runner(plan, eviction, seq.wbinvd)
+                    total_hits += hits
+                    total_misses += misses
+                    sets_completed += 1
+            except RunawayBenchmarkError as exc:
+                exc.progress.update(
+                    sets_requested=len(sets),
+                    sets_completed=sets_completed,
+                    hits=total_hits,
+                    misses=total_misses,
+                )
+                raise
         return CacheSeqResult(total_hits, total_misses)
 
     def hits(self, seq, **kwargs) -> int:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ...batch import parallel_map
 from ...core.nanobench import NanoBench
 from ...errors import AnalysisError
+from ...integrity.stability import worst_verdict
 from ...memory.replacement import AdaptivePolicy
 from .addresses import disable_prefetchers
 from .cacheseq import CacheSeq
@@ -57,6 +58,9 @@ class CpuSurvey:
     uarch: str
     cpu_model: str
     levels: Dict[int, LevelSurvey] = field(default_factory=dict)
+    #: Worst stability verdict over the survey's nanoBench measurements
+    #: (None when no stability policy was active or no run was judged).
+    quality: Optional[str] = None
 
 
 def _survey_small_cache(cacheseq: CacheSeq, set_index: int,
@@ -152,16 +156,18 @@ def _survey_l3(cacheseq: CacheSeq, nb: NanoBench, seed: int) -> LevelSurvey:
 
 
 def survey_cpu(uarch: str, seed: int = 0,
-               buffer_mb: int = 128) -> CpuSurvey:
+               buffer_mb: int = 128, stability=None) -> CpuSurvey:
     """Determine the replacement policies of all cache levels.
 
     This is the end-to-end Table I pipeline for one CPU: a kernel-space
     nanoBench instance with a physically-contiguous buffer, prefetchers
     disabled (Section IV-A2), and the inference tools on top.  Raises
     :class:`AnalysisError` when the prefetchers cannot be disabled (the
-    AMD situation of Section VI-D).
+    AMD situation of Section VI-D).  With a *stability* policy, the
+    worst verdict over the survey's measurements is reported on
+    :attr:`CpuSurvey.quality`.
     """
-    nb = NanoBench.kernel(uarch, seed=seed)
+    nb = NanoBench.kernel(uarch, seed=seed, stability=stability)
     if not disable_prefetchers(nb.core):
         raise AnalysisError(
             "cannot disable the hardware prefetchers on %s; the cache "
@@ -178,12 +184,14 @@ def survey_cpu(uarch: str, seed: int = 0,
         CacheSeq(nb, level=2), set_index=17, seed=seed
     )
     survey.levels[3] = _survey_l3(CacheSeq(nb, level=3), nb, seed=seed)
+    survey.quality = worst_verdict(nb.quality_counts)
     return survey
 
 
-def _survey_one(task: Tuple[str, int, int]) -> CpuSurvey:
-    uarch, seed, buffer_mb = task
-    return survey_cpu(uarch, seed=seed, buffer_mb=buffer_mb)
+def _survey_one(task: Tuple[str, int, int, object]) -> CpuSurvey:
+    uarch, seed, buffer_mb, stability = task
+    return survey_cpu(uarch, seed=seed, buffer_mb=buffer_mb,
+                      stability=stability)
 
 
 def survey_cpus(
@@ -192,6 +200,7 @@ def survey_cpus(
     buffer_mb: int = 128,
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int, object], None]] = None,
+    stability=None,
 ) -> Dict[str, CpuSurvey]:
     """Survey several CPUs, optionally sharded across worker processes.
 
@@ -206,7 +215,7 @@ def survey_cpus(
     """
     outcomes = parallel_map(
         _survey_one,
-        [(uarch, seed, buffer_mb) for uarch in uarchs],
+        [(uarch, seed, buffer_mb, stability) for uarch in uarchs],
         jobs=jobs,
         progress=progress,
         on_error="capture",

@@ -41,6 +41,7 @@ def characterize_corpus_batched(
     kernel_mode: bool = True,
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int, object], None]] = None,
+    stability=None,
 ) -> List[InstructionProfile]:
     """The corpus sweep through the batch engine (``repro.batch``).
 
@@ -65,7 +66,8 @@ def characterize_corpus_batched(
             continue
         kept.append(variant)
         specs.extend(
-            variant_specs(variant, uarch, seed=seed, kernel_mode=kernel_mode)
+            variant_specs(variant, uarch, seed=seed, kernel_mode=kernel_mode,
+                          stability=stability)
         )
     runner = BatchRunner(jobs, progress=progress)
     results = runner.run(specs)
@@ -83,22 +85,31 @@ def characterize_corpus_batched(
 
 
 def profiles_to_table(profiles: Sequence[InstructionProfile]) -> str:
-    """Render profiles as an aligned text table (the HTML-table stand-in)."""
+    """Render profiles as an aligned text table (the HTML-table stand-in).
+
+    A Quality column is appended only when at least one profile carries
+    a stability verdict, so output without a policy stays unchanged.
+    """
+    with_quality = any(p.quality is not None for p in profiles)
     rows = []
     for profile in profiles:
         if profile.error is not None:
-            rows.append([profile.name, "-", "-", "-", profile.error])
-            continue
-        rows.append([
-            profile.name,
-            "%.2f" % profile.latency,
-            "%.2f" % profile.throughput,
-            "%.2f" % profile.uops,
-            profile.port_string,
-        ])
-    return format_table(
-        rows, headers=["Instruction", "Lat", "TP", "Uops", "Ports"]
-    )
+            row = [profile.name, "-", "-", "-", profile.error]
+        else:
+            row = [
+                profile.name,
+                "%.2f" % profile.latency,
+                "%.2f" % profile.throughput,
+                "%.2f" % profile.uops,
+                profile.port_string,
+            ]
+        if with_quality:
+            row.append(profile.quality or "-")
+        rows.append(row)
+    headers = ["Instruction", "Lat", "TP", "Uops", "Ports"]
+    if with_quality:
+        headers.append("Quality")
+    return format_table(rows, headers=headers)
 
 
 def profiles_to_xml(profiles: Sequence[InstructionProfile],

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ...batch.spec import BatchResult, BenchmarkSpec, spec_from_run_kwargs
 from ...core.nanobench import NanoBench
 from ...errors import NanoBenchError, TimingModelError
+from ...integrity.stability import worst_verdict
 from ...uarch.ports import PORT_LAYOUTS
 from ...uarch.specs import get_spec
 from .corpus import InstructionVariant
@@ -114,6 +115,9 @@ class InstructionProfile:
     ports: Dict[str, float]
     latency_pair: str = ""
     error: Optional[str] = None
+    #: Worst stability verdict over the variant's four measurements
+    #: (None when no stability policy was active).
+    quality: Optional[str] = None
 
     @property
     def port_string(self) -> str:
@@ -138,6 +142,7 @@ def variant_specs(
     uarch: str = "Skylake",
     seed: int = 0,
     kernel_mode: bool = True,
+    stability=None,
 ) -> List[BenchmarkSpec]:
     """The four benchmark specs behind one :class:`InstructionProfile`.
 
@@ -146,7 +151,8 @@ def variant_specs(
     :func:`characterize_variant` path (the measurements only consume
     overhead-cancelled counter differences).
     """
-    common = dict(uarch=uarch, seed=seed, kernel_mode=kernel_mode)
+    common = dict(uarch=uarch, seed=seed, kernel_mode=kernel_mode,
+                  stability=stability)
     return [
         spec_from_run_kwargs(
             asm=variant.latency_asm, asm_init=variant.init_asm,
@@ -216,6 +222,9 @@ def profile_from_results(
         uops=round(uops, 2),
         ports=ports,
         latency_pair=variant.latency_pair,
+        quality=worst_verdict(
+            by_kind[kind].quality_verdict for kind in _MEASUREMENT_ORDER
+        ),
     )
 
 
@@ -227,11 +236,22 @@ def characterize_variant(nb: NanoBench,
             variant.name, None, None, None, {},
             error="requires the kernel-space version",
         )
+    verdicts: List[Optional[str]] = []
+
+    def _note_quality() -> None:
+        verdicts.append(
+            nb.last_quality.verdict if nb.last_quality is not None else None
+        )
+
     try:
         latency = measure_latency(nb, variant)
+        _note_quality()
         throughput = measure_throughput(nb, variant)
+        _note_quality()
         uops = measure_uops(nb, variant)
+        _note_quality()
         ports = measure_port_usage(nb, variant)
+        _note_quality()
     except (TimingModelError, NanoBenchError) as exc:
         return InstructionProfile(
             variant.name, None, None, None, {}, error=str(exc)
@@ -243,4 +263,5 @@ def characterize_variant(nb: NanoBench,
         uops=round(uops, 2),
         ports=ports,
         latency_pair=variant.latency_pair,
+        quality=worst_verdict(verdicts),
     )

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.codegen import R14_AREA_BASE
 from ..core.nanobench import NanoBench
 from ..errors import AnalysisError
+from ..integrity.watchdog import DEFAULT_STEP_BUDGET, tlb_step_budget
 
 _PAGE = 4096
 
@@ -71,11 +72,14 @@ def measure_miss_rates(
     *,
     page_stride: int = 1,
     repetitions: int = 4,
+    step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
 ) -> TlbMeasurement:
     """Measure dTLB misses/access for cyclic chases over ``n`` pages.
 
     ``page_stride`` selects every k-th page; a stride equal to the dTLB
     set count maps every page to TLB set 0 (associativity mode).
+    ``step_budget`` bounds the TLB lookups of the whole sweep (runaway
+    watchdog); ``None`` disables the check.
     """
     max_pages = max(page_counts) * page_stride
     if max_pages * _PAGE > nb.r14_size:
@@ -92,25 +96,26 @@ def measure_miss_rates(
     timing_before = nb.core.timing_enabled
     nb.core.timing_enabled = False
     try:
-        for count in page_counts:
-            pages = [i * page_stride for i in range(count)]
-            _build_chain(nb, pages)
-            nb.core.tlb.flush()
-            result = nb.run(
-                asm="mov R14, [R14]",
-                # Start the chase at the first link.
-                asm_init="mov R14, %d" % (R14_AREA_BASE + pages[0] * _PAGE),
-                events=["DTLB_LOAD_MISSES.ANY",
-                        "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
-                unroll_count=count,
-                loop_count=repetitions,
-                warm_up_count=1,
-                n_measurements=3,
-                aggregate="med",
-            )
-            miss_rates[count] = result["DTLB_LOAD_MISSES.ANY"]
-            walk_rates[count] = result[
-                "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"]
+        with tlb_step_budget(nb.core.tlb, step_budget):
+            for count in page_counts:
+                pages = [i * page_stride for i in range(count)]
+                _build_chain(nb, pages)
+                nb.core.tlb.flush()
+                result = nb.run(
+                    asm="mov R14, [R14]",
+                    # Start the chase at the first link.
+                    asm_init="mov R14, %d" % (R14_AREA_BASE + pages[0] * _PAGE),
+                    events=["DTLB_LOAD_MISSES.ANY",
+                            "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
+                    unroll_count=count,
+                    loop_count=repetitions,
+                    warm_up_count=1,
+                    n_measurements=3,
+                    aggregate="med",
+                )
+                miss_rates[count] = result["DTLB_LOAD_MISSES.ANY"]
+                walk_rates[count] = result[
+                    "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"]
     finally:
         nb.core.timing_enabled = timing_before
     return TlbMeasurement(

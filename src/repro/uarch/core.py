@@ -12,7 +12,12 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ExecutionError, MemoryError_, PrivilegeError
+from ..errors import (
+    ExecutionError,
+    MemoryError_,
+    PrivilegeError,
+    RunawayBenchmarkError,
+)
 from ..memory.cache import Cache, CacheGeometry
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.paging import AddressSpace, MainMemory, PhysicalMemory
@@ -458,8 +463,17 @@ class SimulatedCore:
             target = semantics.execute(self, instr)
             executed += 1
             if executed > max_instructions:
-                raise ExecutionError(
-                    "instruction budget exceeded (%d)" % (max_instructions,)
+                # Structured watchdog trip (a RunawayBenchmarkError is an
+                # ExecutionError, preserving the historical contract).
+                raise RunawayBenchmarkError(
+                    "instruction budget exceeded (%d)" % (max_instructions,),
+                    budget="instructions", limit=max_instructions,
+                    progress={
+                        "instructions_executed": executed,
+                        "cycles": self.scheduler.now,
+                        "uops_issued": self.scheduler.issued_uops,
+                        "pc": pc,
+                    },
                 )
             if target is not None:
                 pc = program.labels[target]

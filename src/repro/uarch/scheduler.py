@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import RunawayBenchmarkError
 from .ports import PortLayout
 from .timing import ComputeUop, InstructionTiming
 
@@ -73,10 +74,23 @@ class Scheduler:
         self.layout = layout
         self.rng = rng if rng is not None else random.Random(0)
         self.predictor = BranchPredictor()
+        #: Watchdog budgets (per timing epoch, i.e. per program run).
+        #: ``None`` (the default) disables the check entirely; when set,
+        #: exceeding them raises :class:`RunawayBenchmarkError` with a
+        #: partial-progress report instead of letting a runaway
+        #: benchmark (e.g. an unsatisfiable dependency stall spinning in
+        #: a loop) grind on unboundedly.
+        self.cycle_budget: Optional[int] = None
+        self.uop_budget: Optional[int] = None
         self.reset()
 
     def reset(self) -> None:
-        """Reset all timing state (a new benchmark process)."""
+        """Reset all timing state (a new benchmark process).
+
+        The watchdog budgets are configuration, not state: they persist
+        across resets, but their progress counters restart — budgets
+        bound one timing epoch (one program run).
+        """
         self._resource_ready: Dict[str, int] = {}
         self._store_ready: Dict[int, int] = {}
         self._port_free: Dict[str, int] = {p: 0 for p in self.layout.ports}
@@ -85,7 +99,38 @@ class Scheduler:
         self._frontend_slots = 0
         self._fence_until = 0
         self._max_complete = 0
+        self._issued_uops = 0
         self.predictor.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def issued_uops(self) -> int:
+        """µops issued (front-end slots allocated) since the last reset."""
+        return self._issued_uops
+
+    def _progress(self) -> Dict[str, int]:
+        return {
+            "cycles": self._max_complete,
+            "uops_issued": self._issued_uops,
+            "uops_dispatched": sum(self._port_load.values()),
+            "frontend_cycle": self._frontend_cycle,
+        }
+
+    def _check_budgets(self) -> None:
+        if self.cycle_budget is not None and self._max_complete > self.cycle_budget:
+            raise RunawayBenchmarkError(
+                "cycle budget exceeded: %d simulated cycles (budget %d)"
+                % (self._max_complete, self.cycle_budget),
+                budget="cycles", limit=self.cycle_budget,
+                progress=self._progress(),
+            )
+        if self.uop_budget is not None and self._issued_uops > self.uop_budget:
+            raise RunawayBenchmarkError(
+                "uop budget exceeded: %d issued uops (budget %d)"
+                % (self._issued_uops, self.uop_budget),
+                budget="uops", limit=self.uop_budget,
+                progress=self._progress(),
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +145,7 @@ class Scheduler:
     def _issue_slot(self) -> int:
         """Allocate one front-end slot; returns the issue cycle."""
         cycle = self._frontend_cycle
+        self._issued_uops += 1
         self._frontend_slots += 1
         if self._frontend_slots >= self.layout.frontend_width:
             self._frontend_cycle += 1
@@ -166,6 +212,8 @@ class Scheduler:
             for destination in destinations:
                 self._resource_ready[destination] = ready
             self._max_complete = max(self._max_complete, ready)
+            if self.cycle_budget is not None or self.uop_budget is not None:
+                self._check_budgets()
             return ScheduledInstruction(issue, ready, issued, dispatched)
 
         # ---- load µops
@@ -256,6 +304,8 @@ class Scheduler:
                 self._max_complete = max(self._max_complete, resume)
 
         self._max_complete = max(self._max_complete, complete)
+        if self.cycle_budget is not None or self.uop_budget is not None:
+            self._check_budgets()
         return ScheduledInstruction(
             first_issue, complete, issued, dispatched, mispredicted
         )
@@ -271,6 +321,8 @@ class Scheduler:
         # The front end also resumes no earlier than fence completion.
         self._frontend_cycle = max(self._frontend_cycle, completion)
         self._frontend_slots = 0
+        if self.cycle_budget is not None or self.uop_budget is not None:
+            self._check_budgets()
         return ScheduledInstruction(issue, completion, 1, {})
 
     # ------------------------------------------------------------------
@@ -281,6 +333,8 @@ class Scheduler:
         self._frontend_cycle = max(self._frontend_cycle, resume)
         self._frontend_slots = 0
         self._max_complete = resume
+        if self.cycle_budget is not None:
+            self._check_budgets()
 
     def serialize_after_microcode(self, completion: int) -> None:
         """CPUID/WRMSR-style drain: later instructions start afterwards.
