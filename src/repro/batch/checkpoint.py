@@ -33,7 +33,9 @@ JOURNAL_VERSION = 1
 _RESULT_FIELDS = (
     "error", "host_seconds", "program_runs", "counter_groups",
     "simulated_cycles", "assemble_hits", "assemble_misses",
-    "generate_hits", "generate_misses", "attempts", "quality_verdict",
+    "generate_hits", "generate_misses", "sim_instructions",
+    "fast_path_instructions", "fast_path_fallbacks", "attempts",
+    "quality_verdict",
 )
 
 

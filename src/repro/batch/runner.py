@@ -70,6 +70,11 @@ class BatchReport:
     assemble_misses: int = 0
     generate_hits: int = 0
     generate_misses: int = 0
+    #: Simulator-throughput totals across all specs (see
+    #: :class:`repro.uarch.core.SimStats`).
+    sim_instructions: int = 0
+    fast_path_instructions: int = 0
+    fast_path_fallbacks: int = 0
     #: Self-healing activity: specs replayed from the checkpoint
     #: journal, spec executions beyond the first attempt (requeues
     #: after crashes / hangs / transient errors), worker deaths
@@ -98,6 +103,9 @@ class BatchReport:
         self.assemble_misses += result.assemble_misses
         self.generate_hits += result.generate_hits
         self.generate_misses += result.generate_misses
+        self.sim_instructions += result.sim_instructions
+        self.fast_path_instructions += result.fast_path_instructions
+        self.fast_path_fallbacks += result.fast_path_fallbacks
 
 
 def _execute_spec(spec: BenchmarkSpec) -> BatchResult:

@@ -121,6 +121,11 @@ class BenchmarkSpec:
             assemble_misses=report.assemble_misses,
             generate_hits=report.generate_hits,
             generate_misses=report.generate_misses,
+            sim_instructions=int(report.sim_stats.get("instructions", 0)),
+            fast_path_instructions=int(
+                report.sim_stats.get("fast_path_instructions", 0)
+            ),
+            fast_path_fallbacks=int(report.sim_stats.get("fallbacks", 0)),
             quality_verdict=(report.quality.verdict
                              if report.quality is not None else None),
         )
@@ -142,6 +147,13 @@ class BatchResult:
     assemble_misses: int = 0
     generate_hits: int = 0
     generate_misses: int = 0
+    #: Simulator-throughput accounting (see
+    #: :class:`repro.uarch.core.SimStats`): dynamic instructions
+    #: simulated for this spec, how many of those the steady-state fast
+    #: path replayed in bulk, and how often detection fell back.
+    sim_instructions: int = 0
+    fast_path_instructions: int = 0
+    fast_path_fallbacks: int = 0
     #: Executions of this spec including requeues after worker crashes,
     #: hangs, and transient (injected) failures.
     attempts: int = 1

@@ -21,6 +21,7 @@ A configuration file can be checked without running anything::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -90,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "watchdog; default off)")
     parser.add_argument("-uop_budget", type=int, default=None, metavar="N",
                         help="abort a run after N issued uops (default off)")
+    parser.add_argument("-no_fast_path", action="store_true",
+                        help="disable the steady-state simulator fast "
+                             "path (results are byte-identical either "
+                             "way; this only trades speed for an exact "
+                             "per-uop replay of every iteration)")
     parser.add_argument("-seed", type=int, default=0)
     parser.add_argument("-verbose", action="store_true")
     parser.add_argument("-batch", default=None, metavar="FILE",
@@ -230,6 +236,11 @@ def _main_with_args(args) -> int:
     retry = RetryPolicy(max_attempts=max(1, args.retries))
     nb = factory(uarch=args.uarch, seed=args.seed, options=options,
                  retry=retry, stability=stability)
+    if args.no_fast_path:
+        nb.core.fast_path_enabled = False
+        # Batch-mode workers build their own cores; they inherit the
+        # toggle through the environment.
+        os.environ["NANOBENCH_FAST_PATH"] = "0"
 
     config = None
     if args.config is not None:
@@ -272,6 +283,18 @@ def _main_with_args(args) -> int:
                report.wall_time_ms(args.kernel, nb.core.spec.frequency_ghz)),
             file=sys.stderr,
         )
+        sim = report.sim_stats
+        if sim:
+            print(
+                "# sim: %d instructions (%d fast-path over %d replays, "
+                "%d fallbacks) in %.3f s host"
+                % (sim.get("instructions", 0),
+                   sim.get("fast_path_instructions", 0),
+                   sim.get("fast_path_replays", 0),
+                   sim.get("fallbacks", 0),
+                   sim.get("wall_seconds", 0.0)),
+                file=sys.stderr,
+            )
     return 0
 
 

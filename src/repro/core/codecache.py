@@ -56,6 +56,7 @@ class LRUCache:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
         self.name = name
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -82,12 +83,12 @@ class LRUCache:
 
     def get_or_create(self, key, factory: Callable[[], object]):
         """Return the cached value for *key*, creating it on a miss."""
+        self.lookups += 1
         try:
             value, mark = self._entries[key]
         except KeyError:
             self.misses += 1
             return self._insert(key, factory)
-        self.hits += 1
         self._entries.move_to_end(key)
         plan = active_plan()
         if plan is not None and self._fingerprint is not None:
@@ -99,9 +100,14 @@ class LRUCache:
                 mark = ("corrupted", mark)
                 self._entries[key] = (value, mark)
             if self._fingerprint(value) != mark:
+                # A corrupted entry never served anyone: the lookup
+                # rebuilt from the factory exactly like a cold miss, so
+                # it counts as a miss plus a repair — not as a hit.
+                self.misses += 1
                 self.repairs += 1
                 del self._entries[key]
                 return self._insert(key, factory)
+        self.hits += 1
         return value
 
     def resize(self, maxsize: int) -> None:
@@ -114,6 +120,7 @@ class LRUCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -121,9 +128,17 @@ class LRUCache:
         self._hit_count = 0
 
     def stats(self) -> Dict[str, int]:
+        # Every lookup is exactly one hit or one miss (a repaired
+        # lookup is a miss); a drifting invariant here means a new
+        # code path forgot to classify its outcome.
+        assert self.hits + self.misses == self.lookups, (
+            "%s cache stats out of balance: %d hits + %d misses != %d "
+            "lookups" % (self.name, self.hits, self.misses, self.lookups)
+        )
         return {
             "size": len(self._entries),
             "maxsize": self.maxsize,
+            "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -154,6 +169,18 @@ def _program_key(program: Program) -> Tuple:
     return (str(program), len(program.instructions))
 
 
+#: The :class:`NanoBenchOptions` fields :func:`generate` reads, audited
+#: by ``tests/test_sim_fastpath.py`` with an access-recording proxy: a
+#: future option that starts influencing codegen without being added
+#: here (and thereby to the cache key) would make structurally
+#: different programs collide in the cache.
+_GENERATION_OPTION_FIELDS: Tuple[str, ...] = (
+    "loop_count",
+    "no_mem",
+    "serializer",
+)
+
+
 def generation_key(
     code: Program,
     init: Program,
@@ -166,9 +193,7 @@ def generation_key(
         _program_key(code),
         _program_key(init),
         tuple(counters),
-        options.loop_count,
-        options.no_mem,
-        options.serializer,
+        tuple(getattr(options, name) for name in _GENERATION_OPTION_FIELDS),
         local_unroll_count,
     )
 

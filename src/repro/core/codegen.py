@@ -108,6 +108,12 @@ class GeneratedCode:
     local_unroll_count: int
     loop_count: int
     no_mem: bool
+    #: ``(start_index, body_length, copies)`` of the unrolled benchmark
+    #: body inside ``program.instructions``, or ``None`` when the body
+    #: is not eligible for the simulator's steady-state fast path
+    #: (internal labels, or it clobbers registers the generated
+    #: loop/measurement code reads).
+    unroll_region: Optional[Tuple[int, int, int]] = None
 
     @property
     def m1_addresses(self) -> List[int]:
@@ -277,6 +283,41 @@ def _replace_magic_sequences(
     return replaced
 
 
+def _unroll_region_for(
+    body: Sequence[Instruction],
+    start_index: int,
+    copies: int,
+    code: Program,
+    options: NanoBenchOptions,
+    counters: Sequence[CounterRead],
+    *,
+    looped: bool,
+) -> Optional[Tuple[int, int, int]]:
+    """Fast-path eligibility of the unrolled body (or ``None``).
+
+    The steady-state fast path replays iteration deltas without
+    re-executing the body's functional semantics, so it is only sound
+    when nothing *outside* the region reads a register the body writes:
+    the loop counter (``SUB``/``JNZ`` branch on its value) and, in
+    noMem mode, the counter-accumulator registers (their values become
+    the measurement results).  The generated measurement blocks address
+    memory absolutely and regenerate RAX/RCX/RDX themselves, so no
+    other register value escapes the region.
+    """
+    if not body or copies < 2 or code.labels:
+        return None
+    from ..uarch.dataflow import analyze
+    protected = set()
+    if looped:
+        protected.add(LOOP_REGISTER)
+    if options.no_mem:
+        protected.update(NOMEM_REGISTERS[:len(counters)])
+    for instr in body:
+        if not protected.isdisjoint(analyze(instr).destinations):
+            return None
+    return (start_index, len(body), copies)
+
+
 def generate(
     code: Program,
     init: Program,
@@ -315,6 +356,7 @@ def generate(
     unrolled: List[Instruction] = []
     for _ in range(local_unroll_count):
         unrolled.extend(body)
+    unroll_region: Optional[Tuple[int, int, int]] = None
     if options.loop_count > 0 and local_unroll_count > 0:
         instructions.append(_mov_imm(LOOP_REGISTER, options.loop_count))
         labels["nb_loop"] = len(instructions)
@@ -322,6 +364,10 @@ def generate(
             offset = len(instructions)
             for name, index in code.labels.items():
                 labels[name] = index + offset
+        unroll_region = _unroll_region_for(
+            body, len(instructions), local_unroll_count, code, options,
+            counters, looped=True,
+        )
         instructions.extend(unrolled)
         instructions.append(
             Instruction("SUB", (Register(LOOP_REGISTER), Immediate(1)))
@@ -333,6 +379,10 @@ def generate(
             offset = len(instructions)
             for name, index in code.labels.items():
                 labels[name] = index + offset
+        unroll_region = _unroll_region_for(
+            body, len(instructions), local_unroll_count, code, options,
+            counters, looped=False,
+        )
         instructions.extend(unrolled)
 
     # m2 <- readPerfCtrs (line 10).
@@ -353,6 +403,7 @@ def generate(
         local_unroll_count=local_unroll_count,
         loop_count=options.loop_count,
         no_mem=options.no_mem,
+        unroll_region=unroll_region,
     )
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import (
@@ -123,6 +123,11 @@ class ExecutionReport:
     quality: Optional[QualityVerdict] = None
     #: Times the stability policy escalated ``n_measurements``.
     stability_escalations: int = 0
+    #: Simulator-throughput block for this call: dynamic instructions
+    #: simulated, steady-state fast-path iterations/instructions/replay
+    #: events, fallbacks, and host wall-time (see
+    #: :class:`repro.uarch.core.SimStats`).
+    sim_stats: Dict[str, float] = field(default_factory=dict)
 
     def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
         """Modelled wall-clock time of the equivalent native invocation."""
@@ -344,6 +349,7 @@ class NanoBench:
         report = ExecutionReport(counter_groups=len(groups))
         skipped_events: List[str] = []
         cycles_before = self.core.current_cycle
+        sim_before = self.core.sim_stats.snapshot()
 
         def _note_retry(attempt: int, error: BaseException) -> None:
             report.retries += 1
@@ -403,6 +409,8 @@ class NanoBench:
         report.corrected_wraps = self._corrected_wraps
         report.simulated_cycles = self.core.current_cycle - cycles_before
         report.host_seconds = time.perf_counter() - started
+        report.sim_stats = dict(self.core.sim_stats.delta(sim_before))
+        report.sim_stats["wall_seconds"] = report.host_seconds
         stats_after = cache_stats()
         report.assemble_hits = (
             stats_after["assemble"]["hits"] - stats_before["assemble"]["hits"]
@@ -593,7 +601,8 @@ class NanoBench:
         if self.kernel_mode:
             core.disable_interrupts()
         try:
-            core.run_program(generated.program, kernel_mode=self.kernel_mode)
+            core.run_program(generated.program, kernel_mode=self.kernel_mode,
+                             unroll_region=generated.unroll_region)
         finally:
             if self.kernel_mode:
                 core.enable_interrupts()

@@ -9,7 +9,9 @@ produced here.
 
 from __future__ import annotations
 
+import os
 import random
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
@@ -35,12 +37,69 @@ from ..x86.registers import RegisterFile
 from .dataflow import analyze
 from .interference import InterferenceModel
 from .ports import PORT_LAYOUTS
-from .scheduler import MemoryAccessPlan, Scheduler
+from .scheduler import MemoryAccessPlan, STEADY_LOW_HORIZON, Scheduler
 from .specs import CacheLevelSpec, MicroarchSpec, get_spec
 from .timing import TimingTable
 
 #: Cap on dynamically executed instructions per program (runaway guard).
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+#: Mnemonics whose *functional* execution must never be skipped by the
+#: steady-state fast path, on top of the structural conditions (memory
+#: plans, fences, microcode, branches, jitter): DIV/IDIV can raise #DE
+#: depending on evolving register values, and the cache-control
+#: instructions mutate simulator state outside the scheduler.
+_FAST_PATH_UNSAFE_MNEMONICS = frozenset({
+    "DIV", "IDIV", "CLFLUSH", "CLFLUSHOPT", "WBINVD", "INVD", "RDRAND",
+})
+
+
+def _fast_path_default() -> bool:
+    """Process-wide fast-path default (``NANOBENCH_FAST_PATH=0`` kills
+    it, e.g. for differential testing across batch worker processes)."""
+    return os.environ.get("NANOBENCH_FAST_PATH", "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+@dataclass
+class SimStats:
+    """Cumulative simulator-throughput counters for one core.
+
+    ``instructions`` counts every dynamic instruction simulated
+    (including fast-forwarded ones); the ``fast_path_*`` fields break
+    out how much of that work the steady-state replay absorbed, and
+    ``fallbacks`` counts abandoned steady-state candidates (divergence,
+    fences, interrupts, signature-table overflow).
+    """
+
+    instructions: int = 0
+    fast_path_instructions: int = 0
+    fast_path_iterations: int = 0
+    fast_path_replays: int = 0
+    fallbacks: int = 0
+
+    def snapshot(self) -> "SimStats":
+        return SimStats(
+            self.instructions, self.fast_path_instructions,
+            self.fast_path_iterations, self.fast_path_replays,
+            self.fallbacks,
+        )
+
+    def delta(self, before: "SimStats") -> Dict[str, int]:
+        return {
+            "instructions": self.instructions - before.instructions,
+            "fast_path_instructions": (
+                self.fast_path_instructions - before.fast_path_instructions
+            ),
+            "fast_path_iterations": (
+                self.fast_path_iterations - before.fast_path_iterations
+            ),
+            "fast_path_replays": (
+                self.fast_path_replays - before.fast_path_replays
+            ),
+            "fallbacks": self.fallbacks - before.fallbacks,
+        }
 
 
 def _build_cache(name: str, level: CacheLevelSpec, rng: random.Random) -> Cache:
@@ -135,6 +194,18 @@ class SimulatedCore:
         #: — the repository's stand-in for the paper's helper scripts.
         self.smt_enabled = False
         self._smt_rng = random.Random(seed + 7)
+        #: Steady-state fast path (see :class:`_UnrollFastPath`).  An
+        #: attribute rather than an option so toggling it cannot change
+        #: any spec digest — it is result-invariant by construction.
+        self.fast_path_enabled = _fast_path_default()
+        #: Simulator-throughput observability counters.
+        self.sim_stats = SimStats()
+        #: Per-instruction-object decode memo: ``id(instr) -> [instr,
+        #: flow, timing|None, fast_path_unsafe]``.  Unrolled programs
+        #: repeat the *same* ``Instruction`` objects thousands of times,
+        #: so decode (dataflow + timing-table string work) is paid once.
+        #: The entry holds a strong reference, keeping the id stable.
+        self._decode_cache: Dict[int, list] = {}
 
     # ==================================================================
     # Memory mapping helpers (used by nanoBench and the tools)
@@ -226,10 +297,11 @@ class SimulatedCore:
     # Execution
     # ==================================================================
     def _plan_memory_accesses(
-        self, instr: Instruction
+        self, instr: Instruction, flow=None
     ) -> Tuple[List[MemoryAccessPlan], List[MemoryAccessPlan]]:
         """Resolve the instruction's memory operands to timed accesses."""
-        flow = analyze(instr)
+        if flow is None:
+            flow = analyze(instr)
         loads: List[MemoryAccessPlan] = []
         stores: List[MemoryAccessPlan] = []
         line = self.hierarchy.l1.geometry.line_size
@@ -328,11 +400,15 @@ class SimulatedCore:
         self._rebase_mperf()
         self._mperf_scale = 1.0
 
-    def _apply_interrupts(self) -> None:
+    def _apply_interrupts(self) -> bool:
+        """Poll and apply pending interference; True if anything fired."""
         if not self._interrupts_enabled:
-            return
+            return False
+        fired = False
         for event in self.interference.poll(self.current_cycle):
             self._apply_interference_event(event)
+            fired = True
+        return fired
 
     def _apply_interference_event(self, event) -> None:
         self.metrics.add("instructions_retired", event.instructions)
@@ -376,19 +452,69 @@ class SimulatedCore:
             self.hierarchy.access(physical, is_prefetch=True)
 
     # ------------------------------------------------------------------
+    def _decode(self, instr: Instruction) -> list:
+        """Decode-cache entry for *instr* (flow now, timing lazily)."""
+        cache = self._decode_cache
+        if len(cache) >= (1 << 16):
+            cache.clear()
+        entry = [instr, analyze(instr), None, True]
+        cache[id(instr)] = entry
+        return entry
+
+    def _decode_timing(self, instr: Instruction, entry: list):
+        """Fill the timing half of a decode entry (first timed use)."""
+        timing = self.timing_table.lookup(instr)
+        flow = entry[1]
+        spec = instr.spec
+        entry[2] = timing
+        entry[3] = bool(
+            flow.loads or flow.stores
+            or timing.is_fence or timing.microcoded or timing.latency_jitter
+            or spec.is_branch or spec.privileged or spec.serializing
+            or spec.pseudo
+            or instr.mnemonic in _FAST_PATH_UNSAFE_MNEMONICS
+        )
+        return timing
+
     def run_program(
         self,
         program: Program,
         *,
         kernel_mode: bool = False,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        unroll_region: Optional[Tuple[int, int, int]] = None,
     ) -> int:
-        """Execute *program* to completion; returns instructions retired."""
+        """Execute *program* to completion; returns instructions retired.
+
+        ``unroll_region`` (from :class:`~repro.core.codegen
+        .GeneratedCode`) marks the unrolled benchmark body; when the
+        fast path is enabled, the core detects a periodic steady state
+        across its iteration boundaries and bulk-replays the recorded
+        deltas instead of re-running the per-µop dispatch loop.  Replay
+        is byte-identical to exact execution by construction — any
+        fence, memory plan, microcode, branch, interrupt or state
+        divergence falls back to exact scheduling.
+        """
         self._kernel_mode = kernel_mode
         executed = 0
         pc = 0
         instructions = program.instructions
+        decode_cache = self._decode_cache
+        fast = None
+        if (
+            unroll_region is not None
+            and self.fast_path_enabled
+            and self.timing_enabled
+            and not self.smt_enabled
+        ):
+            fast = _UnrollFastPath(self, unroll_region, max_instructions)
         while pc < len(instructions):
+            if fast is not None and pc == fast.next_boundary:
+                skipped = fast.on_boundary(pc, executed)
+                if skipped:
+                    executed += skipped
+                    pc += skipped
+                    continue
             instr = instructions[pc]
             mnemonic = instr.mnemonic
             # nanoBench magic sequences toggle counting directly when
@@ -396,19 +522,31 @@ class SimulatedCore:
             if mnemonic == "PAUSE_COUNTING":
                 self._update_clock_metrics()
                 self.pmu.pause_counting()
+                if fast is not None:
+                    fast.dirty = True
                 pc += 1
                 continue
             if mnemonic == "RESUME_COUNTING":
                 self._update_clock_metrics()
                 self.pmu.resume_counting()
+                if fast is not None:
+                    fast.dirty = True
                 pc += 1
                 continue
 
+            entry = decode_cache.get(id(instr))
+            if entry is None or entry[0] is not instr:
+                entry = self._decode(instr)
+            flow = entry[1]
             metrics = self.metrics
             if self.timing_enabled:
-                timing = self.timing_table.lookup(instr)
-                flow = analyze(instr)
-                loads, stores = self._plan_memory_accesses(instr)
+                timing = entry[2]
+                if timing is None:
+                    timing = self._decode_timing(instr, entry)
+                if flow.loads or flow.stores:
+                    loads, stores = self._plan_memory_accesses(instr, flow)
+                else:
+                    loads = stores = ()
 
                 branch_taken: Optional[bool] = None
                 branch_site = None
@@ -430,6 +568,8 @@ class SimulatedCore:
                     branch_site=branch_site,
                     branch_taken=branch_taken,
                 )
+                if fast is not None and entry[3]:
+                    fast.dirty = True
 
                 # --- counter updates
                 metrics.add("instructions_retired")
@@ -450,11 +590,13 @@ class SimulatedCore:
                 if self.smt_enabled:
                     self._apply_smt_contention()
                 self._update_clock_metrics()
-                self._apply_interrupts()
+                if self._apply_interrupts() and fast is not None:
+                    fast.dirty = True
             else:
                 # Fast functional mode: exact cache behaviour and event
                 # counts, no cycle accounting.
-                self._plan_memory_accesses(instr)
+                if flow.loads or flow.stores:
+                    self._plan_memory_accesses(instr, flow)
                 metrics.add("instructions_retired")
                 if instr.spec.is_branch:
                     metrics.add("branches")
@@ -480,6 +622,13 @@ class SimulatedCore:
             else:
                 pc += 1
         self._update_clock_metrics()
+        stats = self.sim_stats
+        stats.instructions += executed
+        if fast is not None:
+            stats.fast_path_instructions += fast.replayed_instructions
+            stats.fast_path_iterations += fast.replayed_iterations
+            stats.fast_path_replays += fast.replays
+            stats.fallbacks += fast.fallbacks
         return executed
 
     # ------------------------------------------------------------------
@@ -494,3 +643,226 @@ class SimulatedCore:
     @property
     def current_cycle(self) -> int:
         return self._cycle_base + self.scheduler.now
+
+
+class _UnrollFastPath:
+    """Steady-state detection and bulk replay over one unrolled body.
+
+    The unrolled benchmark body repeats the same instruction objects
+    ``copies`` times.  At each iteration boundary the tracker records
+    the scheduler's *normalized* state signature
+    (:meth:`Scheduler.steady_state`); when the signature at boundary
+    ``j`` equals the one at boundary ``j - p`` (and the per-period
+    deltas pass the soundness guards documented there), the scheduler
+    state — and therefore the next ``p`` iterations' cycle/µop/port
+    deltas — is provably periodic, and the remaining whole periods are
+    applied in bulk (:meth:`Scheduler.apply_steady_delta`) instead of
+    re-running the per-µop dispatch loop.
+
+    Byte-identity guards (any of these keeps execution exact):
+
+    * an iteration touching memory, fences, microcode, latency jitter,
+      branches, privileged/serializing/pseudo instructions, or
+      value-dependent faults (DIV/IDIV) marks the window *dirty* and
+      resets detection;
+    * an interference event firing does the same, and replay is capped
+      so the replayed clock stays strictly below the next armed
+      interrupt, so the exact tail polls it identically;
+    * replay is capped below the cycle/µop/instruction watchdog budgets
+      so a runaway trips at the identical instruction in the exact tail;
+    * the body must not clobber registers read outside the region
+      (checked statically in codegen — otherwise no region is emitted).
+    """
+
+    #: Consecutive period confirmations (matching signature *and*
+    #: matching per-period deltas) required before replay engages.
+    CONFIRMATIONS = 2
+    #: Cap on distinct boundary signatures tracked before giving up.
+    MAX_SIGNATURES = 128
+
+    __slots__ = (
+        "core", "start", "body_len", "copies", "end", "max_instructions",
+        "next_boundary", "dirty", "seq", "sigs", "candidate", "confirms",
+        "replayed_instructions", "replayed_iterations", "replays",
+        "fallbacks", "_port_metric_names",
+    )
+
+    def __init__(self, core: SimulatedCore,
+                 region: Tuple[int, int, int],
+                 max_instructions: int) -> None:
+        self.core = core
+        self.start, self.body_len, self.copies = region
+        self.end = self.start + self.body_len * self.copies
+        self.max_instructions = max_instructions
+        self.next_boundary = self.start
+        self.dirty = False
+        self.seq = 0
+        self.sigs: Dict[tuple, Tuple[int, tuple]] = {}
+        self.candidate: Optional[tuple] = None
+        self.confirms = 0
+        self.replayed_instructions = 0
+        self.replayed_iterations = 0
+        self.replays = 0
+        self.fallbacks = 0
+        self._port_metric_names = tuple(
+            "uops_port_%s" % port for port in core.layout.ports
+        )
+
+    # ------------------------------------------------------------------
+    def _reset_detection(self, *, count_fallback: bool) -> None:
+        if count_fallback and (self.sigs or self.candidate is not None):
+            self.fallbacks += 1
+        self.sigs.clear()
+        self.candidate = None
+        self.confirms = 0
+
+    def on_boundary(self, pc: int, executed: int) -> int:
+        """Process an iteration boundary; returns instructions to skip."""
+        self.seq += 1
+        if pc >= self.end:
+            # Region exit; re-arm for a potential loop re-entry.  The
+            # loop's SUB/JNZ marks the window dirty, so detection
+            # restarts cleanly each pass.
+            self.next_boundary = self.start
+            return 0
+        self.next_boundary = pc + self.body_len
+        if self.dirty:
+            self.dirty = False
+            self._reset_detection(count_fallback=True)
+            return 0
+        scheduler = self.core.scheduler
+        sig, snap = scheduler.steady_state()
+        entry = self.sigs.get(sig)
+        self.sigs[sig] = (self.seq, snap)
+        if entry is None:
+            if len(self.sigs) > self.MAX_SIGNATURES:
+                self._reset_detection(count_fallback=True)
+            else:
+                self.candidate = None
+                self.confirms = 0
+            return 0
+        seq0, snap0 = entry
+        period = self.seq - seq0
+        frontier_delta = snap[0] - snap0[0]
+        max_delta = snap[1] - snap0[1]
+        uop_delta = snap[2] - snap0[2]
+        high0, high1 = snap0[4], snap[4]
+        if high0 is None and high1 is None:
+            high_delta = frontier_delta
+        elif high0 is None or high1 is None:
+            high_delta = -1  # band population changed: reject below
+        else:
+            high_delta = high1 - high0
+        # Periods that stay exact:
+        # * no forward progress (degenerate frontier/µop/clock deltas);
+        # * a high group falling back toward the frontier — its entries
+        #   would drift between bands mid-replay;
+        # * a shift differential without separation margin: the
+        #   smallest high entry must exceed anything a frontier-paced
+        #   computation can reach within one period (the low horizon
+        #   plus the frontier advance plus the period's total
+        #   dispatched latency) so no max() race can flip.
+        if (
+            frontier_delta < 1
+            or uop_delta < 1
+            or max_delta < 1
+            or high_delta < frontier_delta
+        ):
+            self.candidate = None
+            self.confirms = 0
+            return 0
+        if high_delta > frontier_delta:
+            margin = (STEADY_LOW_HORIZON + frontier_delta
+                      + (snap[5] - snap0[5]))
+            if high1 - snap[0] <= margin:
+                self.candidate = None
+                self.confirms = 0
+                return 0
+        # Heavy-band port loads: a tie-break against a lightly loaded
+        # sibling can only flip if the sibling takes more in-window
+        # dispatches than the heavy port's lead; the per-period µop
+        # count bounds those dispatches.
+        load_margin0, load_margin1 = snap0[6], snap[6]
+        if load_margin0 is not None or load_margin1 is not None:
+            if (
+                load_margin0 is None
+                or load_margin1 is None
+                or uop_delta >= min(load_margin0, load_margin1)
+            ):
+                self.candidate = None
+                self.confirms = 0
+                return 0
+        port_delta = tuple(a - b for a, b in zip(snap[3], snap0[3]))
+        key = (period, frontier_delta, high_delta, max_delta, uop_delta,
+               port_delta)
+        if key == self.candidate:
+            self.confirms += 1
+        else:
+            self.candidate = key
+            self.confirms = 1
+        if self.confirms < self.CONFIRMATIONS:
+            return 0
+        return self._replay(pc, executed, key)
+
+    # ------------------------------------------------------------------
+    def _replay(self, pc: int, executed: int, key: tuple) -> int:
+        (period, frontier_delta, high_delta, max_delta, uop_delta,
+         port_delta) = key
+        core = self.core
+        scheduler = core.scheduler
+        per_period_instr = period * self.body_len
+        periods = ((self.end - pc) // self.body_len) // period
+        if periods > 0:
+            periods = min(
+                periods,
+                (self.max_instructions - executed) // per_period_instr,
+            )
+        if periods > 0 and scheduler.uop_budget is not None:
+            periods = min(
+                periods,
+                (scheduler.uop_budget - scheduler._issued_uops) // uop_delta,
+            )
+        if periods > 0 and scheduler.cycle_budget is not None:
+            periods = min(
+                periods,
+                (scheduler.cycle_budget - scheduler._max_complete)
+                // max_delta,
+            )
+        if periods > 0 and core._interrupts_enabled and \
+                core.interference.enabled:
+            next_fire = core.interference.next_fire()
+            if next_fire is None:
+                # Not yet armed; arming consumes RNG, so stay exact.
+                return 0
+            rel_fire = next_fire - core._cycle_base
+            headroom = rel_fire - scheduler._max_complete
+            periods = min(periods, int(headroom // max_delta))
+            while periods > 0 and (
+                scheduler._max_complete + periods * max_delta >= rel_fire
+            ):
+                periods -= 1
+        if periods <= 0:
+            # Capped out (budget/interrupt horizon): detection stays
+            # armed and retries at the next boundary.
+            return 0
+
+        scheduler.apply_steady_delta(periods, frontier_delta, high_delta,
+                                     max_delta, uop_delta, port_delta)
+        skipped = periods * per_period_instr
+        metrics = core.metrics
+        metrics.add("instructions_retired", skipped)
+        metrics.add("uops_issued", periods * uop_delta)
+        names = self._port_metric_names
+        for i, delta in enumerate(port_delta):
+            if delta:
+                metrics.add(names[i], periods * delta)
+        core._update_clock_metrics()
+
+        self.replayed_instructions += skipped
+        self.replayed_iterations += periods * period
+        self.replays += 1
+        # The stored absolute snapshots are stale after the bulk jump;
+        # restart detection from the post-replay boundary.
+        self._reset_detection(count_fallback=False)
+        self.next_boundary = pc + skipped
+        return skipped

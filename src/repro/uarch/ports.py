@@ -15,16 +15,44 @@ from typing import Dict, Tuple
 
 @dataclass(frozen=True)
 class PortLayout:
-    """Concrete ports and functional-class mapping of one family."""
+    """Concrete ports and functional-class mapping of one family.
+
+    Besides the name-based mapping, the layout precomputes (once, at
+    construction) the index-based views the scheduler's hot path uses:
+    ``port_index`` maps a port name to its position in ``ports``, and
+    ``class_indices`` resolves each functional class straight to a
+    tuple of candidate *port indices* — so the per-µop dispatch loop
+    never touches strings or rebuilds candidate sets.
+    """
 
     name: str
     ports: Tuple[str, ...]
     classes: Dict[str, Tuple[str, ...]]
     frontend_width: int = 4
+    #: Derived resolve tables (filled in ``__post_init__``).
+    port_index: Dict[str, int] = field(default_factory=dict)
+    class_indices: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        index = {port: i for i, port in enumerate(self.ports)}
+        object.__setattr__(self, "port_index", index)
+        object.__setattr__(self, "class_indices", {
+            cls: tuple(index[port] for port in candidates)
+            for cls, candidates in self.classes.items()
+        })
 
     def resolve(self, functional_class: str) -> Tuple[str, ...]:
         try:
             return self.classes[functional_class]
+        except KeyError:
+            raise KeyError(
+                "family %s has no port class %r" % (self.name, functional_class)
+            )
+
+    def resolve_indices(self, functional_class: str) -> Tuple[int, ...]:
+        """Candidate *port indices* for one functional class."""
+        try:
+            return self.class_indices[functional_class]
         except KeyError:
             raise KeyError(
                 "family %s has no port class %r" % (self.name, functional_class)

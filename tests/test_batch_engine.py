@@ -205,7 +205,8 @@ class TestCodegenCaches:
         assert a is c
         assert cache_stats()["generate"] == {
             "size": 2, "maxsize": cache_stats()["generate"]["maxsize"],
-            "hits": 1, "misses": 2, "evictions": 0, "repairs": 0,
+            "lookups": 3, "hits": 1, "misses": 2, "evictions": 0,
+            "repairs": 0,
         }
 
     def test_configure_caches_resizes(self):
