@@ -1,0 +1,60 @@
+"""A6 — backend fidelity: the analytic estimator vs the cycle-accurate
+core on the E6 instruction corpus.
+
+The analytic backend answers the case-study-I questions (latency,
+throughput, µops, port usage) straight from the timing tables, without
+per-cycle scheduling.  This experiment quantifies the trade: sweep the
+full Skylake corpus on both backends with identical measurement
+parameters, report every per-instruction deviation, and time both
+sweeps.  The analytic sweep must be at least an order of magnitude
+faster — that headroom is the whole reason the backend exists.
+"""
+
+import pytest
+
+from repro.tools import compare_backends, comparison_to_table
+from repro.tools.instr import corpus_for_family
+
+from conftest import NB_JOBS, run_once
+
+#: The cycle-accurate sweep shards over workers like E6; the analytic
+#: sweep inside the same comparison uses the same jobs value, so the
+#: speedup number compares like with like.
+MIN_SPEEDUP = 10.0
+
+
+def test_a6_backend_fidelity(benchmark, report):
+    corpus = [
+        variant for variant in corpus_for_family("SKL")
+        # The analytic model covers the user-measurable table rows; the
+        # kernel-only rows (RDMSR etc.) are microcoded oddballs whose
+        # latency is a table constant either way.
+        if not variant.kernel_only
+    ]
+
+    def experiment():
+        return compare_backends("Skylake", corpus, seed=1, jobs=NB_JOBS)
+
+    comparison = run_once(benchmark, experiment)
+    report("A6_backend_fidelity", comparison_to_table(comparison))
+
+    compared = comparison.compared
+    assert len(compared) >= 80
+
+    # The paper-anchor rows must agree exactly.
+    by_name = {d.name: d for d in compared}
+    for name in ("ADD (R64, R64)", "MOV (R64, M64) [load]",
+                 "IMUL (R64, R64)", "SHL (R64, I)"):
+        deviation = by_name[name]
+        assert deviation.exact(0.01), (name, deviation.max_deviation)
+
+    # Corpus-wide fidelity: most rows exact, no row wildly off.
+    assert comparison.exact_fraction(0.05) >= 0.75
+    assert comparison.mean_throughput_deviation <= 0.3
+    assert comparison.mean_latency_deviation <= 1.0
+
+    # The point of the backend: at least 10x faster than the
+    # cycle-accurate sweep on the same corpus.
+    assert comparison.speedup >= MIN_SPEEDUP, (
+        "analytic sweep only %.1fx faster" % comparison.speedup
+    )

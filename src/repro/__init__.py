@@ -13,11 +13,37 @@ Quickstart (the paper's Section III-A example)::
     nb = NanoBench.kernel(uarch="Skylake")
     result = nb.run(asm="mov R14, [R14]", asm_init="mov [R14], R14")
     print(result["Core cycles"])            # 4.0 — the L1 load latency
+
+Measurements run on a pluggable backend; the default is the
+cycle-accurate simulated core, and ``NanoBench.create(
+backend="analytic")`` swaps in a fast port-model estimator (see
+:mod:`repro.backends`).
 """
 
 __version__ = "1.0.0"
 
+from .backends import (  # noqa: E402
+    Capabilities,
+    MeasurementBackend,
+    MeasurementTarget,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from .core.nanobench import NanoBench, NanoBenchOptions  # noqa: E402
 from .core.runner import AggregateFunction  # noqa: E402
 
-__all__ = ["NanoBench", "NanoBenchOptions", "AggregateFunction", "__version__"]
+__all__ = [
+    "AggregateFunction",
+    "Capabilities",
+    "MeasurementBackend",
+    "MeasurementTarget",
+    "NanoBench",
+    "NanoBenchOptions",
+    "__version__",
+    "backend_names",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

@@ -1,0 +1,61 @@
+"""Pluggable measurement backends (the multi-backend layer).
+
+The facade, the batch engine, the baselines and the case-study tools
+all measure against a :class:`MeasurementTarget` — a protocol capturing
+the machine surface :class:`~repro.core.nanobench.NanoBench` actually
+uses — rather than a concrete simulator class.  Backends of different
+fidelity implement it (the gem5 AtomicSimpleCPU-vs-O3CPU idea):
+
+* ``sim`` — :class:`SimulatedCoreBackend`, the default cycle-accurate
+  out-of-order core.  Byte-identical to the pre-backend direct path.
+* ``analytic`` — :class:`AnalyticBackend`, an OSACA-style estimator
+  answering latency/throughput/port questions straight from the timing
+  tables, with a reduced :class:`Capabilities` set.
+
+Select one with ``NanoBench.create(backend="analytic")``, a
+``BenchmarkSpec(backend=...)``, or the CLI's ``-backend`` flag;
+``nanobench backends`` lists what is registered.
+"""
+
+from .analytic import (
+    ANALYTIC_BACKEND,
+    AnalyticBackend,
+    AnalyticTarget,
+    BlockEstimate,
+    estimate_program,
+)
+from .protocol import (
+    CAPABILITY_DESCRIPTIONS,
+    Capabilities,
+    MeasurementBackend,
+    MeasurementTarget,
+)
+from .registry import (
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from .simulated import SIMULATED_BACKEND, SimulatedCoreBackend
+
+__all__ = [
+    "ANALYTIC_BACKEND",
+    "AnalyticBackend",
+    "AnalyticTarget",
+    "BlockEstimate",
+    "CAPABILITY_DESCRIPTIONS",
+    "Capabilities",
+    "DEFAULT_BACKEND",
+    "MeasurementBackend",
+    "MeasurementTarget",
+    "SIMULATED_BACKEND",
+    "SimulatedCoreBackend",
+    "backend_names",
+    "estimate_program",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+]

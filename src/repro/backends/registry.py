@@ -1,0 +1,74 @@
+"""Name-keyed registry of measurement backends.
+
+The registry is what makes ``backend="analytic"`` work everywhere a
+machine name works today: :meth:`NanoBench.create`, batch specs, the
+CLI's ``-backend`` flag and the ``nanobench backends`` listing all
+resolve names here.  Third-party backends (a remote-machine driver, a
+record/replay backend) register themselves with
+:func:`register_backend` and become addressable by name in every layer
+at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..errors import NanoBenchError
+from .protocol import MeasurementBackend
+
+#: Name of the default backend (the cycle-accurate simulated core).
+DEFAULT_BACKEND = "sim"
+
+_REGISTRY: Dict[str, MeasurementBackend] = {}
+
+
+def register_backend(backend: MeasurementBackend, *,
+                     replace: bool = False) -> MeasurementBackend:
+    """Register *backend* under its ``name``; returns it (decorator-
+    friendly).  Re-registering a name is an error unless ``replace``."""
+    name = backend.name
+    if not name:
+        raise NanoBenchError("backend %r has no name" % (backend,))
+    if name in _REGISTRY and not replace:
+        raise NanoBenchError(
+            "backend name %r is already registered (pass replace=True "
+            "to override)" % (name,)
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> MeasurementBackend:
+    """The backend registered under *name*; raises with the known list."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise NanoBenchError(
+            "unknown measurement backend %r (known backends: %s)"
+            % (name, ", ".join(backend_names()) or "<none>")
+        )
+
+
+def resolve_backend(
+    backend: Union[str, MeasurementBackend, None]
+) -> MeasurementBackend:
+    """Normalise a name / instance / None to a backend object."""
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, MeasurementBackend):
+        return backend
+    return get_backend(backend)
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, default first, the rest sorted."""
+    names = sorted(_REGISTRY)
+    if DEFAULT_BACKEND in names:
+        names.remove(DEFAULT_BACKEND)
+        names.insert(0, DEFAULT_BACKEND)
+    return names
+
+
+def list_backends() -> List[MeasurementBackend]:
+    """Registered backends in :func:`backend_names` order."""
+    return [_REGISTRY[name] for name in backend_names()]

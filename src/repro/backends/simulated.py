@@ -1,0 +1,33 @@
+"""The default backend: the cycle-accurate simulated core.
+
+This is a thin adapter — :class:`~repro.uarch.core.SimulatedCore`
+already satisfies the :class:`~repro.backends.protocol.
+MeasurementTarget` protocol natively, so ``create_target`` simply
+constructs one exactly the way the pre-backend factories did.  The
+byte-identity contract of the refactor rests on this file staying
+trivial: a registry-created target is the same object a direct
+``SimulatedCore(uarch, seed=seed)`` call produces.
+"""
+
+from __future__ import annotations
+
+from ..uarch.core import SimulatedCore
+from .protocol import Capabilities, MeasurementBackend
+from .registry import register_backend
+
+
+class SimulatedCoreBackend(MeasurementBackend):
+    """Cycle-accurate out-of-order simulation (full capability set)."""
+
+    name = "sim"
+    description = ("cycle-accurate simulated core: out-of-order "
+                   "scheduling, cache hierarchy, TLBs, uncore counters")
+    capabilities = Capabilities()  # everything
+
+    def create_target(self, uarch: str = "Skylake", *,
+                      seed: int = 0) -> SimulatedCore:
+        return SimulatedCore(uarch, seed=seed)
+
+
+#: The registered singleton (importing this module registers it).
+SIMULATED_BACKEND = register_backend(SimulatedCoreBackend())

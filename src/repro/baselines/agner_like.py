@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from ..errors import NanoBenchError
+from ..backends.registry import DEFAULT_BACKEND, resolve_backend
+from ..errors import NanoBenchError, UnschedulableEventError
 from ..core.nanobench import NanoBench
 from ..core.options import NanoBenchOptions
+from ..perfctr.events import event_catalog
 from ..uarch.core import SimulatedCore
 from ..x86.assembler import assemble
 from ..x86.instructions import Program
@@ -44,6 +46,22 @@ class AgnerLikeFramework:
         self._nb = NanoBench(core, kernel_mode=False, options=options)
         self.repetitions = repetitions
 
+    @classmethod
+    def create(cls, uarch: str = "Skylake", *, seed: int = 0,
+               backend=DEFAULT_BACKEND, repetitions: int = 100,
+               n_measurements: int = 10) -> "AgnerLikeFramework":
+        """Build the framework on a registry backend (user-mode RDPMC
+        is the framework's whole measurement surface, so the backend
+        must provide the ``user_mode`` capability)."""
+        backend_obj = resolve_backend(backend)
+        backend_obj.capabilities.require(
+            "user_mode", backend=backend_obj.name,
+            context="the Agner-style harness reads counters with RDPMC "
+                    "from user space",
+        )
+        return cls(backend_obj.create_target(uarch, seed=seed),
+                   repetitions=repetitions, n_measurements=n_measurements)
+
     def _check_registers(self, program: Program) -> None:
         for instr in program.instructions:
             for operand in instr.operands:
@@ -62,10 +80,15 @@ class AgnerLikeFramework:
         """Measure a benchmark in the fixed CPUID-serialized template."""
         program = code if code is not None else assemble(asm)
         self._check_registers(program)
+        spec = self._nb.core.spec
+        catalog = event_catalog(spec.family, spec.n_cboxes)
         for name in events:
-            if "CBOX" in name.upper():
-                raise NanoBenchError(
-                    "the framework only supports RDPMC-readable counters "
-                    "(no uncore events)"
+            event = catalog.get(name)
+            if (event is not None and event.uncore) or (
+                    event is None and "CBOX" in name.upper()):
+                raise UnschedulableEventError(
+                    "uncore event %r is not RDPMC-readable: the framework "
+                    "only supports core counters (the 'uncore' capability "
+                    "is out of reach from user space)" % (name,)
                 )
         return self._nb.run(code=program, init=Program(), events=events)

@@ -35,7 +35,7 @@ _RESULT_FIELDS = (
     "simulated_cycles", "assemble_hits", "assemble_misses",
     "generate_hits", "generate_misses", "sim_instructions",
     "fast_path_instructions", "fast_path_fallbacks", "attempts",
-    "quality_verdict",
+    "quality_verdict", "backend",
 )
 
 
@@ -49,6 +49,10 @@ def spec_digest(spec: BenchmarkSpec) -> str:
     # field existed keep their digests (and stay replayable).
     if getattr(spec, "stability", ()):
         fields.append(spec.stability)
+    # Same backward-compatibility rule: the default "sim" backend keeps
+    # pre-backend journal digests valid.
+    if getattr(spec, "backend", "sim") != "sim":
+        fields.append(spec.backend)
     identity = repr(tuple(fields))
     return hashlib.sha256(identity.encode()).hexdigest()
 
@@ -156,6 +160,8 @@ def result_from_record(spec: BenchmarkSpec, record: dict) -> BatchResult:
         spec=spec,
         values=dict(record.get("values", {})),
         replayed=True,
+        # Pre-backend journals carry no backend field; the spec knows.
+        backend=getattr(spec, "backend", "sim"),
     )
     for name in _RESULT_FIELDS:
         if name in record:

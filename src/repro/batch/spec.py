@@ -63,6 +63,9 @@ class BenchmarkSpec:
     #: empty (the default) disables stability control for this spec and
     #: keeps old journal digests valid.
     stability: Tuple[Tuple[str, object], ...] = ()
+    #: Measurement backend to execute on (a registry name); ``"sim"``
+    #: (the default) keeps old journal digests valid.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
@@ -71,17 +74,21 @@ class BenchmarkSpec:
                            _freeze_stability(self.stability))
 
     @property
-    def core_key(self) -> Tuple[str, int, bool]:
-        """The ``(uarch, seed, kernel_mode)`` identity of the machine."""
-        return (self.uarch, self.seed, self.kernel_mode)
+    def core_key(self) -> Tuple[str, str, int, bool]:
+        """The ``(backend, uarch, seed, kernel_mode)`` machine identity."""
+        return (self.backend, self.uarch, self.seed, self.kernel_mode)
 
     def option_dict(self) -> Dict[str, object]:
         return dict(self.options)
 
     def make_nanobench(self) -> NanoBench:
         """A fresh nanoBench instance for this spec's machine key."""
-        factory = NanoBench.kernel if self.kernel_mode else NanoBench.user
-        return factory(uarch=self.uarch, seed=self.seed)
+        return NanoBench.create(
+            uarch=self.uarch,
+            seed=self.seed,
+            kernel_mode=self.kernel_mode,
+            backend=self.backend,
+        )
 
     def execute(self, nb: Optional[NanoBench] = None) -> "BatchResult":
         """Run this spec (on *nb* or a fresh instance); never raises."""
@@ -108,6 +115,7 @@ class BenchmarkSpec:
                 values={},
                 error=str(exc),
                 host_seconds=time.perf_counter() - started,
+                backend=self.backend,
             )
         return BatchResult(
             spec=self,
@@ -128,6 +136,7 @@ class BenchmarkSpec:
             fast_path_fallbacks=int(report.sim_stats.get("fallbacks", 0)),
             quality_verdict=(report.quality.verdict
                              if report.quality is not None else None),
+            backend=self.backend,
         )
 
 
@@ -163,6 +172,8 @@ class BatchResult:
     #: Stability verdict (``stable`` / ``escalated`` /
     #: ``unstable-quarantined``); None when no policy was active.
     quality_verdict: Optional[str] = None
+    #: Name of the measurement backend that produced this result.
+    backend: str = "sim"
 
     @property
     def ok(self) -> bool:
@@ -179,6 +190,7 @@ def spec_from_run_kwargs(
     kernel_mode: bool = True,
     label: str = "",
     stability=None,
+    backend: str = "sim",
     **option_overrides,
 ) -> BenchmarkSpec:
     """Build a spec with the same keyword surface as ``NanoBench.run``."""
@@ -192,4 +204,5 @@ def spec_from_run_kwargs(
         options=_freeze_options(option_overrides),
         label=label,
         stability=_freeze_stability(stability),
+        backend=backend,
     )

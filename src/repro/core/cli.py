@@ -16,6 +16,11 @@ where each non-comment line of the file is ``asm`` or
 A configuration file can be checked without running anything::
 
     nanobench validate-config cfg_Skylake.txt -uarch Skylake
+
+Measurements run on a pluggable backend (``-backend analytic`` answers
+latency/throughput questions from the port model without per-cycle
+simulation); ``nanobench backends`` lists what is registered together
+with each backend's capability set.
 """
 
 from __future__ import annotations
@@ -58,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="performance-counter configuration file")
     parser.add_argument("-uarch", default="Skylake",
                         help="simulated microarchitecture (default Skylake)")
+    parser.add_argument("-backend", default="sim", metavar="NAME",
+                        help="measurement backend (default 'sim', the "
+                             "cycle-accurate core; 'analytic' estimates "
+                             "from the port model — see 'nanobench "
+                             "backends' for the full list)")
     parser.add_argument("-kernel", action="store_true", default=True,
                         help="use the kernel-space variant (default)")
     parser.add_argument("-user", dest="kernel", action="store_false",
@@ -188,10 +198,44 @@ def run_validate_config(argv: List[str]) -> int:
     return 1 if errors else 0
 
 
+def run_backends(argv: List[str]) -> int:
+    """The ``backends`` subcommand: list registered measurement
+    backends and their capability matrix."""
+    parser = argparse.ArgumentParser(
+        prog="nanobench backends",
+        description="list registered measurement backends and the "
+                    "capabilities each one provides",
+    )
+    parser.parse_args(argv)
+    from ..backends import CAPABILITY_DESCRIPTIONS, Capabilities, \
+        DEFAULT_BACKEND, list_backends
+
+    backends = list_backends()
+    for backend in backends:
+        marker = " (default)" if backend.name == DEFAULT_BACKEND else ""
+        print("%s%s: %s" % (backend.name, marker, backend.description))
+    print()
+    width = max(len(name) for name in Capabilities.names())
+    header = "%-*s  %s" % (width, "capability",
+                           "  ".join("%-8s" % b.name for b in backends))
+    print(header)
+    print("-" * len(header))
+    for name in Capabilities.names():
+        cells = "  ".join(
+            "%-8s" % ("yes" if b.capabilities.supports(name) else "-")
+            for b in backends
+        )
+        print("%-*s  %s  # %s"
+              % (width, name, cells, CAPABILITY_DESCRIPTIONS[name]))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "validate-config":
         return run_validate_config(argv[1:])
+    if argv and argv[0] == "backends":
+        return run_backends(argv[1:])
     args = build_parser().parse_args(argv)
     if args.faults is not None:
         try:
@@ -232,10 +276,15 @@ def _main_with_args(args) -> int:
         stability = StabilityPolicy(
             max_n_measurements=args.max_n_measurements
         )
-    factory = NanoBench.kernel if args.kernel else NanoBench.user
     retry = RetryPolicy(max_attempts=max(1, args.retries))
-    nb = factory(uarch=args.uarch, seed=args.seed, options=options,
-                 retry=retry, stability=stability)
+    try:
+        nb = NanoBench.create(uarch=args.uarch, seed=args.seed,
+                              kernel_mode=args.kernel, backend=args.backend,
+                              options=options, retry=retry,
+                              stability=stability)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
     if args.no_fast_path:
         nb.core.fast_path_enabled = False
         # Batch-mode workers build their own cores; they inherit the
@@ -328,6 +377,7 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
             options=tuple(sorted(option_overrides.items())),
             label="%d" % index,
             stability=stability_overrides,
+            backend=args.backend,
         )
         for index, (asm, asm_init) in enumerate(entries)
     ]

@@ -29,6 +29,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..backends.analytic import event_value as _analytic_event_value
+from ..backends.protocol import Capabilities, MeasurementBackend
+from ..backends.registry import DEFAULT_BACKEND, get_backend, resolve_backend
 from ..errors import (
     AllocationError,
     NanoBenchError,
@@ -138,7 +141,15 @@ class ExecutionReport:
 
 
 class NanoBench:
-    """One nanoBench instance bound to a simulated core."""
+    """One nanoBench instance bound to a measurement target.
+
+    The target is usually a cycle-accurate
+    :class:`~repro.uarch.core.SimulatedCore` (the ``sim`` backend), but
+    any :class:`~repro.backends.MeasurementTarget` works — e.g. the
+    table-driven ``analytic`` backend's target.  Use :meth:`create` (or
+    the :meth:`kernel`/:meth:`user` shorthands) to construct through
+    the backend registry.
+    """
 
     def __init__(
         self,
@@ -149,8 +160,13 @@ class NanoBench:
         retry: Optional[RetryPolicy] = None,
         preflight: bool = True,
         stability: Optional[StabilityPolicy] = None,
+        backend: Optional[MeasurementBackend] = None,
     ) -> None:
         self.core = core
+        #: The backend that produced (or matches) ``core``; inferred
+        #: for directly-constructed targets so every instance carries a
+        #: backend tag and capability set.
+        self.backend = backend if backend is not None else _infer_backend(core)
         self.kernel_mode = kernel_mode
         self.options = options if options is not None else NanoBenchOptions()
         #: Self-healing policy: bounded retries with deterministic
@@ -188,26 +204,63 @@ class NanoBench:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def kernel(cls, uarch: str = "Skylake", seed: int = 0,
+    def create(cls, uarch: str = "Skylake", seed: int = 0, *,
+               kernel_mode: bool = True,
+               backend=DEFAULT_BACKEND,
                options: Optional[NanoBenchOptions] = None,
                retry: Optional[RetryPolicy] = None,
                preflight: bool = True,
                stability: Optional[StabilityPolicy] = None) -> "NanoBench":
-        """Create the kernel-space variant on a fresh simulated CPU."""
-        return cls(SimulatedCore(uarch, seed=seed), kernel_mode=True,
-                   options=options, retry=retry, preflight=preflight,
-                   stability=stability)
+        """The one construction path: negotiate a backend, build its
+        target, wire the facade.
+
+        ``backend`` is a registry name (``"sim"``, ``"analytic"``) or a
+        :class:`~repro.backends.MeasurementBackend` instance.  The
+        requested mode is checked against the backend's capabilities up
+        front, so an unsupported combination fails with a structured
+        :class:`~repro.errors.CapabilityError` instead of deep inside a
+        run.
+        """
+        backend_obj = resolve_backend(backend)
+        capability = "kernel_mode" if kernel_mode else "user_mode"
+        backend_obj.capabilities.require(
+            capability, backend=backend_obj.name,
+            context="cannot create the %s-space variant"
+                    % ("kernel" if kernel_mode else "user"),
+        )
+        target = backend_obj.create_target(uarch, seed=seed)
+        return cls(target, kernel_mode=kernel_mode, options=options,
+                   retry=retry, preflight=preflight, stability=stability,
+                   backend=backend_obj)
+
+    @classmethod
+    def kernel(cls, uarch: str = "Skylake", seed: int = 0,
+               options: Optional[NanoBenchOptions] = None,
+               retry: Optional[RetryPolicy] = None,
+               preflight: bool = True,
+               stability: Optional[StabilityPolicy] = None,
+               backend=DEFAULT_BACKEND) -> "NanoBench":
+        """Create the kernel-space variant on a fresh target."""
+        return cls.create(uarch, seed, kernel_mode=True, backend=backend,
+                          options=options, retry=retry, preflight=preflight,
+                          stability=stability)
 
     @classmethod
     def user(cls, uarch: str = "Skylake", seed: int = 0,
              options: Optional[NanoBenchOptions] = None,
              retry: Optional[RetryPolicy] = None,
              preflight: bool = True,
-             stability: Optional[StabilityPolicy] = None) -> "NanoBench":
-        """Create the user-space variant on a fresh simulated CPU."""
-        return cls(SimulatedCore(uarch, seed=seed), kernel_mode=False,
-                   options=options, retry=retry, preflight=preflight,
-                   stability=stability)
+             stability: Optional[StabilityPolicy] = None,
+             backend=DEFAULT_BACKEND) -> "NanoBench":
+        """Create the user-space variant on a fresh target."""
+        return cls.create(uarch, seed, kernel_mode=False, backend=backend,
+                          options=options, retry=retry, preflight=preflight,
+                          stability=stability)
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """The active backend's capability descriptor."""
+        return self.backend.capabilities
 
     # ------------------------------------------------------------------
     # Memory areas (Section III-G)
@@ -265,6 +318,11 @@ class NanoBench:
                 CounterRead("Reference cycles", "fixed", 2),
             ]
         if options.aperf_mperf:
+            if not self.capabilities.aperf_mperf:
+                raise NanoBenchError(
+                    "backend %r cannot read APERF/MPERF (missing "
+                    "capability: 'aperf_mperf')" % (self.backend.name,)
+                )
             if not self.kernel_mode:
                 raise NanoBenchError(
                     "APERF/MPERF can only be read in kernel space"
@@ -283,9 +341,21 @@ class NanoBench:
 
     def _event_counter_read(self, event: PerfEvent, slot: int) -> CounterRead:
         if event.uncore:
+            # Capability negotiation: both failure shapes raise the
+            # UnschedulableEventError path (gracefully degradable), with
+            # the missing capability named instead of a generic failure.
+            if not self.capabilities.uncore:
+                raise UnschedulableEventError(
+                    "uncore event %r requires the 'uncore' capability, "
+                    "which backend %r does not provide"
+                    % (event.name, self.backend.name)
+                )
             if not self.kernel_mode:
                 raise UnschedulableEventError(
-                    "uncore counters can only be read in kernel space"
+                    "uncore event %r cannot be scheduled in user mode: "
+                    "uncore counters can only be read in kernel space "
+                    "(the 'uncore' capability is kernel-only)"
+                    % (event.name,)
                 )
             return CounterRead(event.name, "msr", self._uncore_msr_index(event))
         return CounterRead(event.name, "programmable", slot)
@@ -355,6 +425,9 @@ class NanoBench:
             report.retries += 1
             warnings.warn(TransientRetryWarning(attempt, error))
 
+        #: A backend without per-cycle execution answers measurements
+        #: from the analytic estimator instead of running generated code.
+        analytic = not self.capabilities.cycle_accurate
         stability = self.stability
         quality: Optional[QualityVerdict] = None
         escalations = 0
@@ -362,15 +435,20 @@ class NanoBench:
             results: "OrderedDict[str, float]" = OrderedDict()
             raw_samples: List[Dict[str, List[float]]] = []
             for group in groups:
-                def _attempt(group=group):
-                    self._maybe_inject_alloc_fault()
-                    return self._run_group(
-                        benchmark, init_program, group, options
+                if analytic:
+                    group_result, runs, skipped = self._estimate_group(
+                        benchmark, group, options
                     )
+                else:
+                    def _attempt(group=group):
+                        self._maybe_inject_alloc_fault()
+                        return self._run_group(
+                            benchmark, init_program, group, options
+                        )
 
-                group_result, runs, skipped = self.retry.call(
-                    _attempt, on_retry=_note_retry
-                )
+                    group_result, runs, skipped = self.retry.call(
+                        _attempt, on_retry=_note_retry
+                    )
                 report.program_runs += runs
                 for name in skipped:
                     if name not in skipped_events:
@@ -428,6 +506,48 @@ class NanoBench:
         )
         self.last_report = report
         return results
+
+    # ------------------------------------------------------------------
+    def _estimate_group(
+        self,
+        benchmark: Program,
+        group: Tuple[PerfEvent, ...],
+        options: NanoBenchOptions,
+    ) -> Tuple["OrderedDict[str, float]", int, List[str]]:
+        """The analytic-backend counterpart of :meth:`_run_group`.
+
+        No code is generated or executed: the target's block estimate
+        supplies the per-iteration counter values directly (already in
+        overhead-cancelled per-repetition units).  Events outside the
+        backend's capabilities flow through the same graceful-
+        degradation path as unschedulable events on the simulator.
+        """
+        # Same capability checks as the measured path (APERF/MPERF).
+        self._fixed_counter_reads(options)
+        estimate = self.core.estimate(benchmark)
+        self.core.advance(estimate.cycles)
+        result: "OrderedDict[str, float]" = OrderedDict()
+        if options.fixed_counters:
+            result["Instructions retired"] = float(estimate.instructions)
+            result["Core cycles"] = estimate.cycles
+            result["Reference cycles"] = (
+                estimate.cycles * self.core.spec.reference_clock_ratio
+            )
+        skipped: List[str] = []
+        for event in group:
+            try:
+                value = _analytic_event_value(
+                    estimate, event, backend_name=self.backend.name
+                )
+            except UnschedulableEventError as exc:
+                if not self.retry.degrade:
+                    raise
+                warnings.warn(UnschedulableEventWarning(event.name, str(exc)))
+                skipped.append(event.name)
+                continue
+            result[event.name] = value
+        self.last_raw_series = {}
+        return result, 0, skipped
 
     def _resolve_events(
         self, config: Optional[CounterConfig], events: Sequence[str]
@@ -661,3 +781,19 @@ class NanoBench:
 
 def _to_signed64(value: int) -> int:
     return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _infer_backend(core) -> MeasurementBackend:
+    """Backend tag for a directly-constructed target.
+
+    Direct ``NanoBench(SimulatedCore(...))`` construction predates the
+    backend layer and must keep working byte-identically; the inferred
+    tag only supplies the capability set and result labelling.
+    """
+    if isinstance(core, SimulatedCore):
+        return get_backend(DEFAULT_BACKEND)
+    from ..backends.analytic import AnalyticTarget
+
+    if isinstance(core, AnalyticTarget):
+        return get_backend("analytic")
+    return get_backend(DEFAULT_BACKEND)

@@ -205,6 +205,36 @@ class UnschedulableEventError(NanoBenchError):
     """
 
 
+class CapabilityError(NanoBenchError):
+    """A measurement backend lacks a capability the caller requires.
+
+    Raised during backend negotiation (see
+    :class:`repro.backends.Capabilities`) when a tool asks for a
+    feature — kernel mode, cache events, cycle-accurate execution —
+    that the selected backend does not advertise.  Carries the
+    machine-readable capability name so callers can fall back instead
+    of string-matching the message.
+
+    :ivar capability: name of the missing :class:`Capabilities` field.
+    :ivar backend: name of the backend that lacks it.
+    """
+
+    def __init__(self, message, *, capability="", backend=""):
+        super().__init__(message)
+        self.capability = capability
+        self.backend = backend
+
+    def __reduce__(self):
+        return (
+            _rebuild_capability_error,
+            (self.args[0], self.capability, self.backend),
+        )
+
+
+def _rebuild_capability_error(message, capability, backend):
+    return CapabilityError(message, capability=capability, backend=backend)
+
+
 class AnalysisError(ReproError):
     """Raised by the case-study tools when an inference cannot proceed."""
 

@@ -2,5 +2,20 @@
 the Section VIII future-work extensions (TLB and branch predictor)."""
 
 from . import branch, cache, instr, tlb
+from .compare_backends import (
+    BackendComparison,
+    ProfileDeviation,
+    compare_backends,
+    comparison_to_table,
+)
 
-__all__ = ["branch", "cache", "instr", "tlb"]
+__all__ = [
+    "BackendComparison",
+    "ProfileDeviation",
+    "branch",
+    "cache",
+    "compare_backends",
+    "comparison_to_table",
+    "instr",
+    "tlb",
+]

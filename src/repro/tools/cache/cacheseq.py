@@ -115,6 +115,11 @@ class CacheSeq:
                  max_steps: Optional[int] = DEFAULT_STEP_BUDGET) -> None:
         if engine not in ("direct", "nanobench"):
             raise AnalysisError("engine must be 'direct' or 'nanobench'")
+        nb.capabilities.require(
+            "cache_events", backend=nb.backend.name,
+            context="cacheSeq counts hits and misses of individual "
+                    "memory accesses",
+        )
         self.nb = nb
         self.level = level
         self.engine = engine

@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ...backends.registry import DEFAULT_BACKEND, resolve_backend
 from ...batch import parallel_map
 from ...core.nanobench import NanoBench
 from ...errors import AnalysisError
@@ -156,7 +157,8 @@ def _survey_l3(cacheseq: CacheSeq, nb: NanoBench, seed: int) -> LevelSurvey:
 
 
 def survey_cpu(uarch: str, seed: int = 0,
-               buffer_mb: int = 128, stability=None) -> CpuSurvey:
+               buffer_mb: int = 128, stability=None,
+               backend=DEFAULT_BACKEND) -> CpuSurvey:
     """Determine the replacement policies of all cache levels.
 
     This is the end-to-end Table I pipeline for one CPU: a kernel-space
@@ -166,8 +168,21 @@ def survey_cpu(uarch: str, seed: int = 0,
     AMD situation of Section VI-D).  With a *stability* policy, the
     worst verdict over the survey's measurements is reported on
     :attr:`CpuSurvey.quality`.
+
+    The survey observes replacement state through cache-event counters
+    and a contiguous buffer, so the chosen backend must provide the
+    ``cache_events`` and ``contiguous_memory`` capabilities (analytic
+    backends cannot run it).
     """
-    nb = NanoBench.kernel(uarch, seed=seed, stability=stability)
+    backend_obj = resolve_backend(backend)
+    for capability in ("cache_events", "contiguous_memory"):
+        backend_obj.capabilities.require(
+            capability, backend=backend_obj.name,
+            context="the replacement-policy survey measures hit/miss "
+                    "counts against a physically-contiguous buffer",
+        )
+    nb = NanoBench.create(uarch, seed=seed, kernel_mode=True,
+                          backend=backend_obj, stability=stability)
     if not disable_prefetchers(nb.core):
         raise AnalysisError(
             "cannot disable the hardware prefetchers on %s; the cache "
@@ -188,10 +203,10 @@ def survey_cpu(uarch: str, seed: int = 0,
     return survey
 
 
-def _survey_one(task: Tuple[str, int, int, object]) -> CpuSurvey:
-    uarch, seed, buffer_mb, stability = task
+def _survey_one(task: Tuple[str, int, int, object, str]) -> CpuSurvey:
+    uarch, seed, buffer_mb, stability, backend = task
     return survey_cpu(uarch, seed=seed, buffer_mb=buffer_mb,
-                      stability=stability)
+                      stability=stability, backend=backend)
 
 
 def survey_cpus(
@@ -201,6 +216,7 @@ def survey_cpus(
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int, object], None]] = None,
     stability=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Dict[str, CpuSurvey]:
     """Survey several CPUs, optionally sharded across worker processes.
 
@@ -215,7 +231,7 @@ def survey_cpus(
     """
     outcomes = parallel_map(
         _survey_one,
-        [(uarch, seed, buffer_mb, stability) for uarch in uarchs],
+        [(uarch, seed, buffer_mb, stability, backend) for uarch in uarchs],
         jobs=jobs,
         progress=progress,
         on_error="capture",

@@ -42,6 +42,7 @@ def characterize_corpus_batched(
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int, object], None]] = None,
     stability=None,
+    backend: str = "sim",
 ) -> List[InstructionProfile]:
     """The corpus sweep through the batch engine (``repro.batch``).
 
@@ -67,7 +68,7 @@ def characterize_corpus_batched(
         kept.append(variant)
         specs.extend(
             variant_specs(variant, uarch, seed=seed, kernel_mode=kernel_mode,
-                          stability=stability)
+                          stability=stability, backend=backend)
         )
     runner = BatchRunner(jobs, progress=progress)
     results = runner.run(specs)

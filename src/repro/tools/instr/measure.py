@@ -143,6 +143,7 @@ def variant_specs(
     seed: int = 0,
     kernel_mode: bool = True,
     stability=None,
+    backend: str = "sim",
 ) -> List[BenchmarkSpec]:
     """The four benchmark specs behind one :class:`InstructionProfile`.
 
@@ -152,7 +153,7 @@ def variant_specs(
     overhead-cancelled counter differences).
     """
     common = dict(uarch=uarch, seed=seed, kernel_mode=kernel_mode,
-                  stability=stability)
+                  stability=stability, backend=backend)
     return [
         spec_from_run_kwargs(
             asm=variant.latency_asm, asm_init=variant.init_asm,

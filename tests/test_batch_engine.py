@@ -41,7 +41,7 @@ class TestBenchmarkSpec:
     def test_core_key(self):
         spec = BenchmarkSpec(asm="nop", uarch="Haswell", seed=3,
                              kernel_mode=False)
-        assert spec.core_key == ("Haswell", 3, False)
+        assert spec.core_key == ("sim", "Haswell", 3, False)
 
     def test_execute_captures_errors(self):
         result = BenchmarkSpec(asm="frobnicate RAX").execute()
