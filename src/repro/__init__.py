@@ -33,10 +33,20 @@ from .backends import (  # noqa: E402
 )
 from .core.nanobench import NanoBench, NanoBenchOptions  # noqa: E402
 from .core.runner import AggregateFunction  # noqa: E402
+from .fuzz import (  # noqa: E402
+    DifferentialFuzzer,
+    DivergenceRecord,
+    GeneratedKernel,
+    KernelGenerator,
+)
 
 __all__ = [
     "AggregateFunction",
     "Capabilities",
+    "DifferentialFuzzer",
+    "DivergenceRecord",
+    "GeneratedKernel",
+    "KernelGenerator",
     "MeasurementBackend",
     "MeasurementTarget",
     "NanoBench",

@@ -318,13 +318,38 @@ def _dependency_cycles(estimates: List[InstructionEstimate]) -> float:
     return max(0.0, (maxima[-1] - maxima[half - 1]) / span)
 
 
+def _statically_executed(program: Program) -> List:
+    """The instructions on the static control-flow path of one block.
+
+    An unconditional forward ``jmp`` to a program label always skips
+    the instructions in between — they never issue, so charging their
+    µops, port demand and latency overstates the block (a divergence
+    class the differential fuzzer pins).  The walk follows those jumps;
+    conditional and backward control flow keeps the conservative
+    straight-line behavior (a static model cannot resolve flags).
+    """
+    executed = []
+    index = 0
+    count = len(program.instructions)
+    while index < count:
+        instr = program.instructions[index]
+        executed.append(instr)
+        if instr.mnemonic.lower() == "jmp" and instr.target is not None:
+            target = program.labels.get(instr.target)
+            if target is not None and target > index:
+                index = target
+                continue
+        index += 1
+    return executed
+
+
 def estimate_program(program: Program, timing_table: TimingTable,
                      layout: PortLayout,
                      spec: MicroarchSpec) -> BlockEstimate:
     """Estimate one benchmark block executed back-to-back forever."""
     estimates = [
         _estimate_instruction(instr, timing_table, layout, spec)
-        for instr in program.instructions
+        for instr in _statically_executed(program)
     ]
     estimate = BlockEstimate(instructions=len(estimates))
     if not estimates:

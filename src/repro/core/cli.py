@@ -21,6 +21,11 @@ Measurements run on a pluggable backend (``-backend analytic`` answers
 latency/throughput questions from the port model without per-cycle
 simulation); ``nanobench backends`` lists what is registered together
 with each backend's capability set.
+
+The differential fuzzer cross-checks every backend pair on generated
+adversarial kernels and pins any disagreement::
+
+    nanobench fuzz -seed 0 -budget 200 -profile default -corpus out.jsonl
 """
 
 from __future__ import annotations
@@ -230,12 +235,107 @@ def run_backends(argv: List[str]) -> int:
     return 0
 
 
+def run_fuzz(argv: List[str]) -> int:
+    """The ``fuzz`` subcommand: a coverage-quota differential campaign.
+
+    Generates ``-budget`` kernels against the ``-profile`` quotas,
+    cross-checks exact-vs-fastpath simulation, serial-vs-batched
+    execution, and sim-vs-analytic estimation on each, shrinks and
+    pins divergences, and prints the coverage-achieved report.  Exit
+    status 1 on any exact (fastpath/batch) divergence — those
+    categories must be byte-identical; analytic records are reported
+    and written to the corpus but do not fail the run.
+    """
+    from ..fuzz import PROFILES, DifferentialFuzzer, save_corpus
+    from ..fuzz.differential import (
+        DEFAULT_ANALYTIC_ABS,
+        DEFAULT_ANALYTIC_REL,
+        DEFAULT_CYCLE_BUDGET,
+        DEFAULT_UOP_BUDGET,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="nanobench fuzz",
+        description="differential fuzzing: generate coverage-quota "
+                    "kernels, cross-check every backend, pin divergences",
+    )
+    parser.add_argument("-seed", type=int, default=0,
+                        help="campaign seed (kernels are a pure function "
+                             "of seed, profile and index; default 0)")
+    parser.add_argument("-budget", type=int, default=200, metavar="N",
+                        help="number of kernels to generate (default 200)")
+    parser.add_argument("-profile", default="default",
+                        choices=sorted(PROFILES),
+                        help="coverage-quota profile (default 'default')")
+    parser.add_argument("-uarch", default="Skylake",
+                        help="simulated microarchitecture (default Skylake)")
+    parser.add_argument("-jobs", type=int, default=2,
+                        help="worker processes for the batched arm "
+                             "(default 2)")
+    parser.add_argument("-corpus", default=None, metavar="FILE",
+                        help="write confirmed divergences to FILE as "
+                             "deterministic JSONL")
+    parser.add_argument("-no_shrink", action="store_true",
+                        help="pin divergences unshrunk (faster campaigns)")
+    parser.add_argument("-no_analytic", action="store_true",
+                        help="skip the tolerance-banded sim-vs-analytic "
+                             "comparison (exact checks only)")
+    parser.add_argument("-analytic_abs", type=float,
+                        default=DEFAULT_ANALYTIC_ABS, metavar="X",
+                        help="absolute tolerance of the analytic band "
+                             "(default %g)" % DEFAULT_ANALYTIC_ABS)
+    parser.add_argument("-analytic_rel", type=float,
+                        default=DEFAULT_ANALYTIC_REL, metavar="X",
+                        help="relative tolerance of the analytic band "
+                             "(default %g)" % DEFAULT_ANALYTIC_REL)
+    parser.add_argument("-cycle_budget", type=int,
+                        default=DEFAULT_CYCLE_BUDGET, metavar="N",
+                        help="watchdog cycle budget per arm (default %d)"
+                             % DEFAULT_CYCLE_BUDGET)
+    parser.add_argument("-uop_budget", type=int,
+                        default=DEFAULT_UOP_BUDGET, metavar="N",
+                        help="watchdog uop budget per arm (default %d)"
+                             % DEFAULT_UOP_BUDGET)
+    args = parser.parse_args(argv)
+    if args.budget <= 0:
+        print("error: -budget must be positive", file=sys.stderr)
+        return 1
+    try:
+        fuzzer = DifferentialFuzzer(
+            seed=args.seed,
+            profile=args.profile,
+            uarch=args.uarch,
+            jobs=args.jobs,
+            cycle_budget=args.cycle_budget,
+            uop_budget=args.uop_budget,
+            analytic_abs=args.analytic_abs,
+            analytic_rel=args.analytic_rel,
+            shrink=not args.no_shrink,
+            check_analytic=not args.no_analytic,
+        )
+    except (ReproError, ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print("error: %s" % (message,), file=sys.stderr)
+        return 1
+    result = fuzzer.run(args.budget)
+    print(result.render())
+    if args.corpus is not None:
+        from ..fuzz import sort_records
+
+        save_corpus(args.corpus, sort_records(result.records))
+        print("# corpus: %d record(s) written to %s"
+              % (len(result.records), args.corpus), file=sys.stderr)
+    return 1 if result.exact_divergences or result.stats.invalid else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "validate-config":
         return run_validate_config(argv[1:])
     if argv and argv[0] == "backends":
         return run_backends(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return run_fuzz(argv[1:])
     args = build_parser().parse_args(argv)
     if args.faults is not None:
         try:

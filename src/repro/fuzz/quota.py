@@ -1,0 +1,308 @@
+"""Coverage-quota profiles for the kernel fuzzer.
+
+The generator does not sample kernel features independently — it
+*schedules* them against target distributions (the quota-distribution
+idiom: declare per-axis target fractions, then pick whichever bucket is
+furthest below its quota).  A fuzzing campaign of N kernels therefore
+covers every declared bucket of every axis with a frequency that
+matches its target to within 1/N, deterministically, instead of hoping
+a uniform sampler stumbles over the rare combinations.
+
+Axes (Section "adversarial workload generation" of the roadmap):
+
+* ``instruction_class`` — which functional family dominates the kernel
+  (ALU, multiply-like, shifts, LEA address arithmetic, moves, vector);
+* ``dependency_shape`` — how results flow (one serial chain, a
+  reduction tree, fully independent streams);
+* ``memory_pattern`` — no memory, streaming loads, strided loads,
+  pointer chasing (``mov R14, [R14]``), or mixed loads + stores;
+* ``fence_density`` — no fences, a single fence, or fence-heavy
+  (including the occasional serializing CPUID);
+* ``branch_behavior`` — straight-line, an unconditional forward jump,
+  or a flag-dependent forward conditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+#: Axis names, in the canonical order used by schedulers and reports.
+AXES = (
+    "instruction_class",
+    "dependency_shape",
+    "memory_pattern",
+    "fence_density",
+    "branch_behavior",
+)
+
+FractionTable = Tuple[Tuple[str, float], ...]
+
+
+def _freeze(targets: Mapping[str, float]) -> FractionTable:
+    return tuple((name, float(value)) for name, value in targets.items())
+
+
+@dataclass(frozen=True)
+class QuotaProfile:
+    """Target bucket distributions for one fuzzing campaign.
+
+    Each axis maps bucket name -> target fraction; fractions on an axis
+    must sum to 1 (within float tolerance).  ``min_length`` /
+    ``max_length`` bound the number of base compute statements per
+    kernel (overlays for memory, fences and branches add a few more).
+    """
+
+    name: str
+    instruction_class: FractionTable
+    dependency_shape: FractionTable
+    memory_pattern: FractionTable
+    fence_density: FractionTable
+    branch_behavior: FractionTable
+    min_length: int = 4
+    max_length: int = 12
+
+    def axis(self, axis: str) -> FractionTable:
+        if axis not in AXES:
+            raise ValueError("unknown quota axis: %r" % (axis,))
+        return getattr(self, axis)
+
+    def validate(self) -> None:
+        if not 1 <= self.min_length <= self.max_length:
+            raise ValueError(
+                "invalid kernel length range [%d, %d]"
+                % (self.min_length, self.max_length)
+            )
+        for axis in AXES:
+            table = self.axis(axis)
+            if not table:
+                raise ValueError("axis %r has no buckets" % (axis,))
+            total = 0.0
+            for bucket, fraction in table:
+                if fraction < 0.0:
+                    raise ValueError(
+                        "negative quota for %s/%s" % (axis, bucket)
+                    )
+                total += fraction
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    "quotas for axis %r sum to %.6f, expected 1" % (axis, total)
+                )
+
+
+def _profile(name: str, **kwargs) -> QuotaProfile:
+    profile = QuotaProfile(
+        name=name,
+        instruction_class=_freeze(kwargs["instruction_class"]),
+        dependency_shape=_freeze(kwargs["dependency_shape"]),
+        memory_pattern=_freeze(kwargs["memory_pattern"]),
+        fence_density=_freeze(kwargs["fence_density"]),
+        branch_behavior=_freeze(kwargs["branch_behavior"]),
+        min_length=kwargs.get("min_length", 4),
+        max_length=kwargs.get("max_length", 12),
+    )
+    profile.validate()
+    return profile
+
+
+#: Balanced default: every bucket of every axis is exercised.
+DEFAULT_PROFILE = _profile(
+    "default",
+    instruction_class={
+        "alu": 0.30, "mul": 0.15, "shift": 0.15,
+        "lea": 0.10, "mov": 0.15, "vector": 0.15,
+    },
+    dependency_shape={"chain": 0.40, "independent": 0.40, "tree": 0.20},
+    memory_pattern={
+        "none": 0.35, "stream": 0.20, "strided": 0.15,
+        "pointer_chase": 0.15, "mixed": 0.15,
+    },
+    fence_density={"none": 0.60, "sparse": 0.25, "dense": 0.15},
+    branch_behavior={"none": 0.60, "forward_jmp": 0.20, "conditional": 0.20},
+)
+
+#: Memory-subsystem stress: most kernels touch memory, stores included.
+MEMORY_PROFILE = _profile(
+    "memory",
+    instruction_class={
+        "alu": 0.40, "mul": 0.10, "shift": 0.10,
+        "lea": 0.15, "mov": 0.25, "vector": 0.00,
+    },
+    dependency_shape={"chain": 0.35, "independent": 0.45, "tree": 0.20},
+    memory_pattern={
+        "none": 0.05, "stream": 0.30, "strided": 0.20,
+        "pointer_chase": 0.20, "mixed": 0.25,
+    },
+    fence_density={"none": 0.70, "sparse": 0.20, "dense": 0.10},
+    branch_behavior={"none": 0.80, "forward_jmp": 0.10, "conditional": 0.10},
+    min_length=4,
+    max_length=10,
+)
+
+#: Control-flow / serialization stress: the fast path's fallback cases.
+CONTROL_PROFILE = _profile(
+    "control",
+    instruction_class={
+        "alu": 0.40, "mul": 0.10, "shift": 0.15,
+        "lea": 0.10, "mov": 0.25, "vector": 0.00,
+    },
+    dependency_shape={"chain": 0.45, "independent": 0.40, "tree": 0.15},
+    memory_pattern={
+        "none": 0.60, "stream": 0.15, "strided": 0.10,
+        "pointer_chase": 0.10, "mixed": 0.05,
+    },
+    fence_density={"none": 0.30, "sparse": 0.35, "dense": 0.35},
+    branch_behavior={"none": 0.30, "forward_jmp": 0.35, "conditional": 0.35},
+    min_length=3,
+    max_length=8,
+)
+
+PROFILES: Dict[str, QuotaProfile] = {
+    p.name: p for p in (DEFAULT_PROFILE, MEMORY_PROFILE, CONTROL_PROFILE)
+}
+
+
+def get_profile(name: str) -> QuotaProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown quota profile %r (have: %s)"
+            % (name, ", ".join(sorted(PROFILES)))
+        )
+
+
+class QuotaScheduler:
+    """Deterministic largest-deficit bucket picker for one axis.
+
+    ``pick()`` returns the bucket whose entitlement after the next draw
+    (``target * (n + 1)``) exceeds its current count by the most — the
+    classic largest-remainder quota scheduler.  Ties break by declared
+    bucket order, so a sequence of picks is a pure function of the
+    target table: after N picks every bucket's achieved count differs
+    from ``target * N`` by less than 1.
+    """
+
+    def __init__(self, targets: FractionTable) -> None:
+        self.targets = targets
+        self.counts: Dict[str, int] = {bucket: 0 for bucket, _ in targets}
+        self.total = 0
+
+    def pick(self) -> str:
+        entitled = self.total + 1
+        best_bucket = None
+        best_deficit = None
+        for bucket, target in self.targets:
+            deficit = target * entitled - self.counts[bucket]
+            if best_deficit is None or deficit > best_deficit + 1e-12:
+                best_bucket, best_deficit = bucket, deficit
+        assert best_bucket is not None
+        self.counts[best_bucket] += 1
+        self.total += 1
+        return best_bucket
+
+    def achieved(self, bucket: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts[bucket] / self.total
+
+
+@dataclass
+class BucketCoverage:
+    """Target-vs-achieved numbers for one (axis, bucket) cell."""
+
+    axis: str
+    bucket: str
+    target: float
+    count: int
+    achieved: float
+
+    @property
+    def deviation(self) -> float:
+        return abs(self.achieved - self.target)
+
+
+@dataclass
+class CoverageReport:
+    """Coverage-achieved statistics of one fuzzing campaign."""
+
+    profile: str
+    kernels: int
+    cells: List[BucketCoverage] = field(default_factory=list)
+
+    def max_deviation(self) -> float:
+        return max((cell.deviation for cell in self.cells), default=0.0)
+
+    def quotas_met(self, tolerance: float = 0.02) -> bool:
+        """Every bucket within ``max(tolerance, 1/kernels)`` of target.
+
+        The ``1/kernels`` floor is the quantization limit: with N
+        kernels a bucket count is an integer, so the achieved fraction
+        cannot land closer to the target than the rounding allows.
+        """
+        if self.kernels == 0:
+            return False
+        floor = max(tolerance, 1.0 / self.kernels)
+        return all(cell.deviation <= floor for cell in self.cells)
+
+    def to_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for cell in self.cells:
+            table.setdefault(cell.axis, {})[cell.bucket] = {
+                "target": cell.target,
+                "count": cell.count,
+                "achieved": cell.achieved,
+            }
+        return table
+
+    def render(self) -> str:
+        lines = [
+            "coverage (%d kernels, profile %r):" % (self.kernels, self.profile)
+        ]
+        for axis in AXES:
+            cells = [c for c in self.cells if c.axis == axis]
+            if not cells:
+                continue
+            parts = [
+                "%s %d/%0.f%% (target %.0f%%)"
+                % (c.bucket, c.count, 100.0 * c.achieved, 100.0 * c.target)
+                for c in cells
+            ]
+            lines.append("  %-18s %s" % (axis, ", ".join(parts)))
+        lines.append(
+            "  max quota deviation: %.3f (%s)"
+            % (self.max_deviation(),
+               "met" if self.quotas_met() else "NOT met")
+        )
+        return "\n".join(lines)
+
+
+class CoverageTracker:
+    """Per-axis quota schedulers plus the campaign coverage report."""
+
+    def __init__(self, profile: QuotaProfile) -> None:
+        self.profile = profile
+        self.schedulers = {
+            axis: QuotaScheduler(profile.axis(axis)) for axis in AXES
+        }
+        self.kernels = 0
+
+    def next_buckets(self) -> Dict[str, str]:
+        """Schedule the bucket of every axis for the next kernel."""
+        self.kernels += 1
+        return {axis: self.schedulers[axis].pick() for axis in AXES}
+
+    def report(self) -> CoverageReport:
+        report = CoverageReport(profile=self.profile.name,
+                                kernels=self.kernels)
+        for axis in AXES:
+            scheduler = self.schedulers[axis]
+            for bucket, target in scheduler.targets:
+                report.cells.append(BucketCoverage(
+                    axis=axis,
+                    bucket=bucket,
+                    target=target,
+                    count=scheduler.counts[bucket],
+                    achieved=scheduler.achieved(bucket),
+                ))
+        return report

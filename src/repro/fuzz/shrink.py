@@ -1,0 +1,81 @@
+"""Greedy divergence minimizer.
+
+A divergence found on a 15-statement generated kernel is rarely *about*
+15 statements.  The shrinker deletes statements one at a time, keeping
+a deletion whenever the caller's oracle still reports the divergence,
+until no single deletion preserves it — the classic greedy 1-minimal
+reduction.  The scan order is fixed (left to right, restarting after
+every successful deletion), so shrinking is deterministic: the same
+divergence always reduces to the same minimal kernel.
+
+The oracle receives a candidate kernel and must return ``True`` only if
+the divergence still reproduces.  Oracles are expected to treat *any*
+failure to evaluate a candidate (validation error, simulator exception)
+as "does not diverge" — deleting the definition of a branch target, for
+example, must make the shrinker keep the label, not crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List
+
+from .generator import GeneratedKernel
+
+#: An oracle: does this candidate kernel still show the divergence?
+DivergenceOracle = Callable[[GeneratedKernel], bool]
+
+
+def split_statements(asm: str) -> List[str]:
+    """Split assembly text into the statement list the shrinker edits."""
+    return [part.strip() for part in asm.split(";") if part.strip()]
+
+
+def join_statements(statements: List[str]) -> str:
+    return "; ".join(statements)
+
+
+def _greedy_minimize(statements: List[str],
+                     still_diverges: Callable[[List[str]], bool],
+                     keep_nonempty: bool) -> List[str]:
+    statements = list(statements)
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(statements):
+            candidate = statements[:index] + statements[index + 1:]
+            if (candidate or not keep_nonempty) and still_diverges(candidate):
+                statements = candidate
+                changed = True
+            else:
+                index += 1
+    return statements
+
+
+def shrink_kernel(kernel: GeneratedKernel,
+                  diverges: DivergenceOracle) -> GeneratedKernel:
+    """1-minimal kernel (by statement deletion) that still diverges.
+
+    The benchmark body is minimized first (against the original init),
+    then the init sequence is minimized against the shrunk body.  The
+    input kernel is returned unchanged if the oracle does not report a
+    divergence on it (nothing to shrink against), so callers can pass
+    candidates through unconditionally.
+    """
+    if not diverges(kernel):
+        return kernel
+
+    def rebuild(body: List[str], init: List[str]) -> GeneratedKernel:
+        return replace(kernel, asm=join_statements(body),
+                       asm_init=join_statements(init))
+
+    body = split_statements(kernel.asm)
+    init = split_statements(kernel.asm_init)
+    body = _greedy_minimize(
+        body, lambda cand: diverges(rebuild(cand, init)), keep_nonempty=True
+    )
+    init = _greedy_minimize(
+        init, lambda cand: diverges(rebuild(body, cand)), keep_nonempty=False
+    )
+    return rebuild(body, init)

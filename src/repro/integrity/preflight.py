@@ -79,6 +79,10 @@ def validate_program(
     branch-target resolution.  nanoBench pseudo-instructions
     (``PAUSE_COUNTING`` / ``RESUME_COUNTING``) are handled directly by
     the core and are always valid.
+
+    Fuzzer-generated programs carry a ``fuzz_provenance`` tag (seed,
+    quota profile, kernel index); issue messages echo it so a rejected
+    generated kernel is reproducible from the error alone.
     """
     issues: List[ValidationIssue] = []
     labels = program.labels
@@ -122,7 +126,26 @@ def validate_program(
                 "dangling-target", index, offset, mnemonic, message,
                 ValidationError(message),
             ))
+    provenance = program.__dict__.get("fuzz_provenance")
+    if issues and provenance:
+        issues = [_with_provenance(issue, provenance) for issue in issues]
     return issues
+
+
+def _with_provenance(issue: ValidationIssue,
+                     provenance: str) -> ValidationIssue:
+    """Echo a generated kernel's provenance in the issue and its error.
+
+    The error exception is rebuilt with the same type so the
+    runtime-equivalence contract of :func:`ensure_program_valid` keeps
+    holding (same exception class, message now names the exact
+    ``(seed, profile, index)`` that regenerates the kernel).
+    """
+    message = "%s [%s]" % (issue.message, provenance)
+    error = type(issue.error)(message)
+    return ValidationIssue(
+        issue.kind, issue.index, issue.offset, issue.mnemonic, message, error
+    )
 
 
 def _aggregate_error(what: str, issues: Sequence[ValidationIssue]) -> ValidationError:

@@ -1,0 +1,235 @@
+"""Generator, quota and shrinker tests for the differential fuzzer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.fuzz import (
+    AXES,
+    PROFILES,
+    CoverageTracker,
+    GeneratedKernel,
+    KernelGenerator,
+    QuotaScheduler,
+    get_profile,
+    shrink_kernel,
+    split_statements,
+)
+from repro.integrity.preflight import assert_valid, validate_program
+from repro.uarch.specs import get_spec
+from repro.uarch.timing import TimingTable
+from repro.x86.assembler import assemble
+
+
+def _timing(uarch="Skylake"):
+    spec = get_spec(uarch)
+    return TimingTable(spec.family, move_elimination=spec.move_elimination)
+
+
+_PROFILE_NAMES = sorted(PROFILES)
+
+
+# ----------------------------------------------------------------------
+# Quota scheduling
+# ----------------------------------------------------------------------
+class TestQuotaScheduler:
+    def test_largest_remainder_stays_within_one_of_target(self):
+        targets = (("a", 0.5), ("b", 0.3), ("c", 0.2))
+        scheduler = QuotaScheduler(targets)
+        for _ in range(97):
+            scheduler.pick()
+            for bucket, target in targets:
+                assert abs(scheduler.counts[bucket]
+                           - target * scheduler.total) < 1.0
+
+    def test_pick_sequence_is_deterministic(self):
+        targets = (("x", 0.6), ("y", 0.4))
+        a = QuotaScheduler(targets)
+        b = QuotaScheduler(targets)
+        assert [a.pick() for _ in range(50)] == [b.pick() for _ in range(50)]
+
+    def test_zero_quota_bucket_is_never_picked(self):
+        scheduler = QuotaScheduler((("live", 1.0), ("dead", 0.0)))
+        assert all(scheduler.pick() == "live" for _ in range(30))
+
+    @given(seed=st.integers(0, 3), budget=st.integers(20, 120),
+           profile=st.sampled_from(_PROFILE_NAMES))
+    @settings(max_examples=25, deadline=None)
+    def test_campaign_coverage_meets_quotas(self, seed, budget, profile):
+        generator = KernelGenerator(seed=seed, profile=profile)
+        generator.generate(budget)
+        report = generator.coverage.report()
+        assert report.kernels == budget
+        # Largest-remainder scheduling keeps every bucket within the
+        # 1/N quantization floor of its target.
+        assert report.quotas_met(tolerance=1.0 / budget)
+        assert report.max_deviation() < 1.0 / budget + 1e-9
+
+    def test_report_covers_every_axis_and_bucket(self):
+        generator = KernelGenerator(seed=0, profile="default")
+        generator.generate(40)
+        report = generator.coverage.report()
+        axes = {cell.axis for cell in report.cells}
+        assert axes == set(AXES)
+        profile = get_profile("default")
+        for axis in AXES:
+            declared = {bucket for bucket, _ in profile.axis(axis)}
+            reported = {c.bucket for c in report.cells if c.axis == axis}
+            assert reported == declared
+
+
+# ----------------------------------------------------------------------
+# Kernel generation properties (satellite: hypothesis)
+# ----------------------------------------------------------------------
+class TestGeneratedKernels:
+    @given(seed=st.integers(0, 5), profile=st.sampled_from(_PROFILE_NAMES),
+           count=st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_every_kernel_passes_preflight(self, seed, profile, count):
+        timing = _timing()
+        for kernel in KernelGenerator(seed, profile).iter_kernels(count):
+            kernel.validate(kernel_mode=True, timing_table=timing)
+
+    @given(seed=st.integers(0, 5), profile=st.sampled_from(_PROFILE_NAMES))
+    @settings(max_examples=15, deadline=None)
+    def test_bit_reproducible_from_seed_and_profile(self, seed, profile):
+        a = KernelGenerator(seed, profile).generate(25)
+        b = KernelGenerator(seed, profile).generate(25)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = KernelGenerator(0, "default").generate(20)
+        b = KernelGenerator(1, "default").generate(20)
+        assert [k.asm for k in a] != [k.asm for k in b]
+
+    @given(seed=st.integers(0, 3), count=st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_kernels_respect_scheduled_buckets(self, seed, count):
+        for kernel in KernelGenerator(seed, "default").iter_kernels(count):
+            buckets = kernel.bucket_map
+            assert set(buckets) == set(AXES)
+            has_labels = bool(assemble(kernel.asm).labels)
+            assert has_labels == (buckets["branch_behavior"] != "none")
+            if has_labels:
+                # The simulator refuses to unroll labelled code.
+                assert kernel.unroll_count == 1
+                assert kernel.loop_count >= 1
+            if buckets["memory_pattern"] == "pointer_chase":
+                assert "mov R14, [R14]" in kernel.asm
+                assert "mov [R14], R14" in kernel.asm_init
+
+    def test_reserved_registers_never_written(self):
+        # R15 is the loop register; RSP/RBP/RDI/RSI are area pointers.
+        # R14 writes are allowed only as the pointer-chase idiom.
+        for kernel in KernelGenerator(0, "default").iter_kernels(60):
+            for statement in split_statements(kernel.asm):
+                dest = statement.split(",")[0].split()[-1].rstrip(":")
+                assert dest not in ("R15", "RSP", "RBP", "RDI", "RSI")
+
+    def test_provenance_names_seed_profile_and_index(self):
+        kernel = KernelGenerator(7, "memory").next_kernel()
+        assert "seed=7" in kernel.provenance
+        assert "profile=memory" in kernel.provenance
+        assert "kernel=0" in kernel.provenance
+        for axis in AXES:
+            assert axis in kernel.provenance
+
+
+# ----------------------------------------------------------------------
+# Preflight provenance (satellite: validate_program error messages)
+# ----------------------------------------------------------------------
+class TestPreflightProvenance:
+    def test_validation_error_carries_fuzz_provenance(self):
+        kernel = GeneratedKernel(
+            seed=3, index=9, profile="default", buckets=(),
+            asm="rdmsr", asm_init="", unroll_count=1, loop_count=1,
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            kernel.validate(kernel_mode=False)
+        message = str(excinfo.value)
+        assert "fuzz seed=3 profile=default kernel=9" in message
+
+    def test_validate_program_tags_issue_messages(self):
+        program = assemble("rdmsr")
+        program.__dict__["fuzz_provenance"] = "fuzz seed=1 kernel=2"
+        issues = validate_program(program, kernel_mode=False)
+        assert issues
+        assert all("fuzz seed=1 kernel=2" in i.message for i in issues)
+        # The rebuilt exception keeps its runtime-equivalent type.
+        assert all(str(i.error) == i.message for i in issues)
+
+    def test_untagged_program_messages_unchanged(self):
+        issues = validate_program(assemble("rdmsr"), kernel_mode=False)
+        assert issues
+        assert all("fuzz" not in i.message for i in issues)
+
+    def test_valid_tagged_program_has_no_issues(self):
+        program = assemble("add RAX, RBX")
+        program.__dict__["fuzz_provenance"] = "fuzz seed=0 kernel=0"
+        assert_valid(program, kernel_mode=True, timing_table=_timing())
+
+
+# ----------------------------------------------------------------------
+# Shrinker (satellite: deterministic 1-minimal reduction)
+# ----------------------------------------------------------------------
+class TestShrinker:
+    @staticmethod
+    def _oracle(needles):
+        def diverges(kernel):
+            return all(needle in kernel.asm for needle in needles)
+        return diverges
+
+    @staticmethod
+    def _kernel(asm, asm_init=""):
+        return GeneratedKernel(
+            seed=0, index=0, profile="default", buckets=(),
+            asm=asm, asm_init=asm_init, unroll_count=4, loop_count=0,
+        )
+
+    def test_shrinks_to_minimal_statement_set(self):
+        kernel = self._kernel(
+            "add RAX, RBX; imul RCX, RDX; mfence; shl R8, 3; inc R9"
+        )
+        shrunk = shrink_kernel(kernel, self._oracle(["mfence"]))
+        assert shrunk.asm == "mfence"
+
+    def test_shrinking_is_deterministic(self):
+        kernel = self._kernel(
+            "add RAX, RBX; mfence; imul RCX, RDX; lfence; inc R9",
+            "mov RAX, 1; mov RBX, 2; mov RCX, 3",
+        )
+        oracle = self._oracle(["mfence", "lfence"])
+        a = shrink_kernel(kernel, oracle)
+        b = shrink_kernel(kernel, oracle)
+        assert a == b
+        assert a.asm == "mfence; lfence"
+
+    def test_one_minimality(self):
+        kernel = self._kernel("add RAX, RBX; mfence; inc R9; imul RCX, RDX")
+        oracle = self._oracle(["mfence", "imul"])
+        shrunk = shrink_kernel(kernel, oracle)
+        statements = split_statements(shrunk.asm)
+        assert statements == ["mfence", "imul RCX, RDX"]
+        # Deleting any single surviving statement kills the divergence.
+        for index in range(len(statements)):
+            candidate = statements[:index] + statements[index + 1:]
+            assert not oracle(self._kernel("; ".join(candidate)))
+
+    def test_init_is_minimized_against_shrunk_body(self):
+        kernel = self._kernel(
+            "add RAX, RBX; mfence",
+            "mov RAX, 1; mov RBX, 2",
+        )
+        shrunk = shrink_kernel(kernel, self._oracle(["mfence"]))
+        assert shrunk.asm == "mfence"
+        assert shrunk.asm_init == ""
+
+    def test_non_diverging_kernel_returned_unchanged(self):
+        kernel = self._kernel("add RAX, RBX")
+        assert shrink_kernel(kernel, lambda k: False) is kernel
+
+    def test_body_never_shrinks_to_empty(self):
+        kernel = self._kernel("add RAX, RBX; inc RCX")
+        shrunk = shrink_kernel(kernel, lambda k: True)
+        assert split_statements(shrunk.asm)
+        assert len(split_statements(shrunk.asm)) == 1
