@@ -1,0 +1,77 @@
+"""A8 — Durable result store: cold sweep vs warm-store replay.
+
+Runs the E6 instruction-characterization corpus twice against one
+durable content-addressed store (``repro.store``).  The cold run
+simulates every measurement spec and streams each result into the
+store (fsync-on-ack); the warm run resubmits the identical corpus and
+must answer **every** spec from the store — zero re-simulation — while
+producing profiles byte-identical to the cold run.
+
+Checked properties:
+
+* warm-run store accounting shows ``misses == 0`` and
+  ``hits == n_specs`` (the zero-re-simulation acceptance bar);
+* warm profiles are identical to cold profiles (replayed records
+  round-trip floats via ``repr``);
+* the warm replay is at least 10x faster than the cold sweep — the
+  durability layer's read path costs file scans, not simulation.
+"""
+
+import time
+
+from repro.store import ResultStore
+from repro.tools.instr import characterize_corpus_batched, corpus_for_family
+
+from conftest import run_once
+
+
+def test_a8_store_replay(benchmark, report, tmp_path):
+    variants = corpus_for_family("SKL")
+    root = str(tmp_path / "results.store")
+
+    def experiment():
+        with ResultStore(root) as store:
+            started = time.perf_counter()
+            cold = characterize_corpus_batched(
+                "Skylake", variants, seed=1, jobs=1, store=store
+            )
+            cold_seconds = time.perf_counter() - started
+            cold_stats = store.stats()
+
+            started = time.perf_counter()
+            warm = characterize_corpus_batched(
+                "Skylake", variants, seed=1, jobs=1, store=store
+            )
+            warm_seconds = time.perf_counter() - started
+            warm_stats = store.stats()
+        return (cold, cold_seconds, cold_stats,
+                warm, warm_seconds, warm_stats)
+
+    (cold, cold_seconds, cold_stats,
+     warm, warm_seconds, warm_stats) = run_once(benchmark, experiment)
+
+    n_specs = cold_stats.records
+    warm_hits = warm_stats.hits - cold_stats.hits
+    warm_misses = warm_stats.misses - cold_stats.misses
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+
+    report("A8_store_replay", "\n".join([
+        "%d variants -> %d stored measurement specs, %d disk bytes"
+        % (len(variants), n_specs, warm_stats.disk_bytes),
+        "cold sweep (simulate + store): %7.2f s" % cold_seconds,
+        "warm sweep (replay from store): %6.2f s" % warm_seconds,
+        "warm store traffic: %d hits, %d misses" % (warm_hits, warm_misses),
+        "replay speedup: %.1fx" % speedup,
+        "profiles byte-identical: %s"
+        % ([vars(p) for p in cold] == [vars(p) for p in warm]),
+    ]))
+
+    # Zero re-simulation: every warm-run spec answered from the store
+    # (the cold run missed once per submitted spec, the warm run hit
+    # exactly that many times and missed never).
+    assert warm_misses == 0
+    assert warm_hits == cold_stats.misses
+    assert [vars(p) for p in cold] == [vars(p) for p in warm]
+    assert speedup >= 10.0, (
+        "expected >= 10x from warm-store replay, got %.1fx" % speedup
+    )

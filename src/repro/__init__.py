@@ -39,6 +39,11 @@ from .fuzz import (  # noqa: E402
     GeneratedKernel,
     KernelGenerator,
 )
+from .store import (  # noqa: E402
+    ResultStore,
+    StoreStats,
+    open_store,
+)
 
 __all__ = [
     "AggregateFunction",
@@ -51,9 +56,12 @@ __all__ = [
     "MeasurementTarget",
     "NanoBench",
     "NanoBenchOptions",
+    "ResultStore",
+    "StoreStats",
     "__version__",
     "backend_names",
     "get_backend",
     "list_backends",
+    "open_store",
     "register_backend",
 ]

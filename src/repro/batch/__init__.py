@@ -9,7 +9,12 @@ pool, memoizes assembly/codegen per worker, and streams bit-identical
 (to serial execution) results back in order.
 """
 
-from .checkpoint import CheckpointJournal, spec_digest
+from .checkpoint import (
+    CheckpointJournal,
+    journal_record,
+    result_from_record,
+    spec_digest,
+)
 from .pool import ItemOutcome, ResilientPool
 from .runner import (
     BatchReport,
@@ -29,7 +34,9 @@ __all__ = [
     "ItemOutcome",
     "ResilientPool",
     "default_jobs",
+    "journal_record",
     "parallel_map",
+    "result_from_record",
     "run_batch",
     "spec_digest",
     "spec_from_run_kwargs",

@@ -11,19 +11,26 @@ shortest round-tripping form), so a value read back from the journal is
 bit-equal to the value originally measured, and a killed-then-resumed
 sweep produces results identical to an uninterrupted one.
 
-The journal is append-only and tolerates a torn final line (the
-interrupted write of the run it is recovering from): trailing garbage
-is ignored with a warning.
+The journal is append-only and tolerates corrupt or torn lines
+**anywhere** in the file: unparsable or checksum-failing lines are
+skipped with a warning (the affected specs are simply re-executed), and
+a record that was appended *after* a torn line — the crash-then-resume
+shape, where the torn prefix and the next record share one physical
+line — is salvaged instead of being lost with it.
+
+This single-file format is the legacy layer; the durable segmented
+store (:mod:`repro.store`) supersedes it for anything long-lived, and
+``nanobench store import`` migrates existing journals.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import warnings
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..store.records import record_checksum, validate_record
 from .spec import BatchResult, BenchmarkSpec
 
 #: Journal format version, embedded in every record.
@@ -41,6 +48,8 @@ _RESULT_FIELDS = (
 
 def spec_digest(spec: BenchmarkSpec) -> str:
     """Content digest identifying one spec across processes and runs."""
+    import hashlib
+
     fields = [
         spec.asm, spec.asm_init, spec.events, spec.uarch, spec.seed,
         spec.kernel_mode, spec.options, spec.label,
@@ -59,11 +68,50 @@ def spec_digest(spec: BenchmarkSpec) -> str:
 
 def _record_checksum(record: dict) -> str:
     """Truncated SHA-256 over the record without its ``sha`` field."""
-    payload = {k: v for k, v in record.items() if k != "sha"}
-    digest = hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode()
-    ).hexdigest()
-    return digest[:16]
+    return record_checksum(record)
+
+
+def journal_record(index: int, spec: BenchmarkSpec,
+                   result: BatchResult) -> dict:
+    """The checksum-less record describing one completed spec.
+
+    Shared between the journal (which adds a truncated ``sha``) and the
+    durable store (which adds its own full-width one), so journals
+    import losslessly and replays from either are byte-identical.
+    """
+    record = {
+        "v": JOURNAL_VERSION,
+        "digest": spec_digest(spec),
+        "index": index,
+        "label": spec.label,
+        "values": result.values,
+    }
+    for name in _RESULT_FIELDS:
+        record[name] = getattr(result, name)
+    return record
+
+
+def _salvage_records(line: str) -> List[dict]:
+    """Recover complete records embedded in an unparsable line.
+
+    A process killed mid-append leaves a torn prefix with no newline;
+    when the resumed process appends the next record, both share one
+    physical line and a naive parser loses the *valid* record with the
+    torn one.  This scans for record-start markers and decodes every
+    complete object after the torn prefix.
+    """
+    decoder = json.JSONDecoder()
+    found: List[dict] = []
+    pos = line.find('{"v"', 1)
+    while pos != -1:
+        try:
+            record, consumed = decoder.raw_decode(line[pos:])
+        except ValueError:
+            pos = line.find('{"v"', pos + 1)
+            continue
+        found.append(record)
+        pos = line.find('{"v"', pos + consumed)
+    return found
 
 
 class CheckpointJournal:
@@ -77,12 +125,27 @@ class CheckpointJournal:
     def load(self) -> Dict[str, dict]:
         """Records of completed specs, keyed by spec digest.
 
-        Missing file means a fresh run; a torn trailing line (killed
-        mid-write) is skipped with a warning.
+        Missing file means a fresh run.  Corrupt or torn lines anywhere
+        in the file are skipped with a warning — their specs are
+        re-executed on resume — and records concatenated onto a torn
+        line are salvaged.
         """
         records: Dict[str, dict] = {}
         if not os.path.exists(self.path):
             return records
+
+        def keep(record: dict, line_no: int) -> None:
+            digest = record.get("digest")
+            if not digest:
+                return
+            if digest in records and records[digest] != record:
+                warnings.warn(
+                    "checkpoint %s: line %d duplicates digest %s "
+                    "with different content; keeping the later record"
+                    % (self.path, line_no, digest[:12])
+                )
+            records[digest] = record
+
         with open(self.path, "r") as handle:
             for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -91,14 +154,19 @@ class CheckpointJournal:
                 try:
                     record = json.loads(line)
                 except ValueError:
+                    salvaged = [
+                        candidate for candidate in _salvage_records(line)
+                        if validate_record(candidate)[0]
+                    ]
                     warnings.warn(
                         "checkpoint %s: ignoring unparsable line %d "
-                        "(torn write of an interrupted run?)"
-                        % (self.path, line_no)
+                        "(torn write of an interrupted run?)%s"
+                        % (self.path, line_no,
+                           "; salvaged %d appended record(s) sharing "
+                           "the line" % len(salvaged) if salvaged else "")
                     )
-                    continue
-                digest = record.get("digest")
-                if not digest:
+                    for candidate in salvaged:
+                        keep(candidate, line_no)
                     continue
                 recorded_sha = record.get("sha")
                 if recorded_sha is not None and (
@@ -110,37 +178,42 @@ class CheckpointJournal:
                         "(checksum mismatch)" % (self.path, line_no)
                     )
                     continue
-                if digest in records and records[digest] != record:
-                    warnings.warn(
-                        "checkpoint %s: line %d duplicates digest %s "
-                        "with different content; keeping the later record"
-                        % (self.path, line_no, digest[:12])
-                    )
-                records[digest] = record
+                keep(record, line_no)
         return records
 
     # ------------------------------------------------------------------
+    def _ensure_handle(self):
+        if self._handle is None:
+            # Fresh-line guard: if the journal being resumed ends in a
+            # torn line (killed mid-write, no newline), appending
+            # directly would merge the new record into it and lose
+            # both.  Start on a clean line instead.
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as existing:
+                    existing.seek(0, os.SEEK_END)
+                    if existing.tell() > 0:
+                        existing.seek(-1, os.SEEK_END)
+                        needs_newline = existing.read(1) != b"\n"
+            except OSError:
+                pass
+            self._handle = open(self.path, "a")
+            if needs_newline:
+                self._handle.write("\n")
+        return self._handle
+
     def append(self, index: int, spec: BenchmarkSpec,
                result: BatchResult) -> None:
         """Journal one completed spec (flushed so a kill loses at most
         the line being written)."""
-        record = {
-            "v": JOURNAL_VERSION,
-            "digest": spec_digest(spec),
-            "index": index,
-            "label": spec.label,
-            "values": result.values,
-        }
-        for name in _RESULT_FIELDS:
-            record[name] = getattr(result, name)
+        record = journal_record(index, spec, result)
         record["sha"] = _record_checksum(record)
-        if self._handle is None:
-            self._handle = open(self.path, "a")
+        handle = self._ensure_handle()
         # No sort_keys: the counter order of ``values`` is part of the
         # result (reports print in measurement order), and JSON objects
         # round-trip dict insertion order.
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:

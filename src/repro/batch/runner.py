@@ -43,7 +43,13 @@ from dataclasses import dataclass
 from ..core.codecache import cache_stats
 from ..errors import is_retryable
 from ..faults.plan import active_plan
-from .checkpoint import CheckpointJournal, result_from_record, spec_digest
+from ..store import ResultStore, open_store
+from .checkpoint import (
+    CheckpointJournal,
+    journal_record,
+    result_from_record,
+    spec_digest,
+)
 from .pool import ItemOutcome, ResilientPool, inject_spec_fault, item_fault_key
 from .spec import BatchResult, BenchmarkSpec
 
@@ -83,6 +89,11 @@ class BatchReport:
     n_requeues: int = 0
     n_worker_deaths: int = 0
     n_timeouts: int = 0
+    #: Durable-store traffic: specs answered from the content-addressed
+    #: result store without re-execution, and specs that missed (were
+    #: executed and then stored).  Zero when no store is attached.
+    n_store_hits: int = 0
+    n_store_misses: int = 0
 
     @property
     def benchmarks_per_second(self) -> float:
@@ -135,10 +146,18 @@ class BatchRunner:
         How often one spec is requeued (worker death, timeout, or
         transient error) before its result reports the failure.
     checkpoint:
-        Path of a JSONL checkpoint journal.  Completed specs are
-        appended as they finish; on the next run with the same path,
-        specs already journaled are replayed instead of re-executed, so
-        an interrupted sweep resumes where it stopped.
+        Path of a legacy single-file JSONL checkpoint journal.
+        Completed specs are appended as they finish; on the next run
+        with the same path, specs already journaled are replayed
+        instead of re-executed, so an interrupted sweep resumes where
+        it stopped.  Superseded by ``store`` for anything long-lived.
+    store:
+        A durable content-addressed result store
+        (:class:`repro.store.ResultStore`), or the path of one to open.
+        Specs whose digest is already stored are answered from it
+        without re-execution (across runs, processes, and tools);
+        fresh results are durably appended as they complete.  Mutually
+        exclusive with ``checkpoint``.
     """
 
     def __init__(
@@ -150,6 +169,7 @@ class BatchRunner:
         spec_timeout: Optional[float] = None,
         max_requeues: int = 2,
         checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+        store: Optional[Union[str, "os.PathLike[str]", ResultStore]] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.progress = progress
@@ -158,7 +178,13 @@ class BatchRunner:
         self.chunk_size = chunk_size
         self.spec_timeout = spec_timeout
         self.max_requeues = max_requeues
+        if checkpoint is not None and store is not None:
+            raise ValueError(
+                "pass either checkpoint (legacy journal) or store "
+                "(durable result store), not both"
+            )
         self.checkpoint = os.fspath(checkpoint) if checkpoint else None
+        self.store = store
         self.last_report = BatchReport()
 
     # ------------------------------------------------------------------
@@ -177,7 +203,10 @@ class BatchRunner:
         total = len(specs)
 
         journal: Optional[CheckpointJournal] = None
+        store: Optional[ResultStore] = None
+        owns_store = False
         replayed: Dict[int, BatchResult] = {}
+        digests: Dict[int, str] = {}
         to_run = list(range(total))
         if self.checkpoint is not None:
             journal = CheckpointJournal(self.checkpoint)
@@ -188,6 +217,19 @@ class BatchRunner:
                 if record is not None:
                     replayed[index] = result_from_record(spec, record)
                 else:
+                    to_run.append(index)
+        elif self.store is not None:
+            store = open_store(self.store)
+            owns_store = not isinstance(self.store, ResultStore)
+            to_run = []
+            for index, spec in enumerate(specs):
+                digests[index] = spec_digest(spec)
+                record = store.get(digests[index])
+                if record is not None:
+                    replayed[index] = result_from_record(spec, record)
+                    report.n_store_hits += 1
+                else:
+                    report.n_store_misses += 1
                     to_run.append(index)
 
         if self.jobs <= 1 or len(to_run) <= 1:
@@ -204,6 +246,12 @@ class BatchRunner:
                     result = next(fresh)
                     if journal is not None:
                         journal.append(index, specs[index], result)
+                    if store is not None:
+                        # The ack point of the durability contract: the
+                        # record is flushed (and fsynced) before the
+                        # result is reported downstream.
+                        store.put(digests[index],
+                                  journal_record(index, specs[index], result))
                 done += 1
                 report.add(result)
                 report.host_seconds = time.perf_counter() - started
@@ -214,6 +262,8 @@ class BatchRunner:
             fresh.close()
             if journal is not None:
                 journal.close()
+            if store is not None and owns_store:
+                store.close()
             report.host_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------

@@ -26,6 +26,13 @@ The differential fuzzer cross-checks every backend pair on generated
 adversarial kernels and pins any disagreement::
 
     nanobench fuzz -seed 0 -budget 200 -profile default -corpus out.jsonl
+
+Batch results can persist in a durable, crash-safe, content-addressed
+store (``-store DIR``); the ``store`` subcommand maintains it offline::
+
+    nanobench -batch benchmarks.txt -store results.store
+    nanobench store stats results.store
+    nanobench store import results.store old-journal.jsonl
 """
 
 from __future__ import annotations
@@ -132,10 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="requeues per benchmark after worker "
                              "deaths/timeouts in -batch mode (default 2)")
     parser.add_argument("-checkpoint", default=None, metavar="FILE",
-                        help="JSONL journal for -batch mode: completed "
-                             "benchmarks are recorded and an interrupted "
-                             "sweep resumes from FILE instead of "
-                             "re-running them")
+                        help="deprecated alias of -store: an existing "
+                             "legacy JSONL journal at FILE is migrated "
+                             "into a durable store rooted there and the "
+                             "sweep runs against the store")
+    parser.add_argument("-store", default=None, metavar="DIR",
+                        help="durable result store for -batch mode: "
+                             "completed benchmarks are recorded "
+                             "(crash-safe, content-addressed) and "
+                             "already-stored benchmarks are answered "
+                             "from DIR without re-running")
     parser.add_argument("-faults", default=None, metavar="SPEC",
                         help="activate the fault-injection plane: "
                              "'chaos' or 'site=rate,site=rate' "
@@ -328,6 +341,82 @@ def run_fuzz(argv: List[str]) -> int:
     return 1 if result.exact_divergences or result.stats.invalid else 0
 
 
+def run_store(argv: List[str]) -> int:
+    """The ``store`` subcommand: offline maintenance of a durable store.
+
+    ``stats`` and ``verify`` inspect (``verify`` never modifies the
+    store, so a damaged one can be examined before recovery touches
+    it); ``compact`` merges all segments dropping superseded
+    duplicates; ``gc`` evicts by TTL and/or size budget; ``import``
+    migrates legacy checkpoint journals.
+    """
+    parser = argparse.ArgumentParser(
+        prog="nanobench store",
+        description="inspect and maintain a durable content-addressed "
+                    "result store",
+    )
+    parser.add_argument("action",
+                        choices=("stats", "verify", "compact", "gc",
+                                 "import"),
+                        help="stats: occupancy and counters; verify: "
+                             "read-only integrity scan (exit 1 if "
+                             "recovery is needed); compact: merge "
+                             "segments; gc: evict by -ttl/-max_bytes; "
+                             "import: migrate legacy journal(s)")
+    parser.add_argument("root", metavar="DIR", help="store directory")
+    parser.add_argument("journals", nargs="*", metavar="JOURNAL",
+                        help="legacy checkpoint journal file(s) "
+                             "(import action only)")
+    parser.add_argument("-ttl", type=float, default=None, metavar="SECONDS",
+                        help="gc: evict records older than SECONDS")
+    parser.add_argument("-max_bytes", type=int, default=None, metavar="N",
+                        help="gc: evict oldest records until the store "
+                             "fits in N bytes")
+    args = parser.parse_args(argv)
+    from ..store import ResultStore, verify_store
+
+    if args.journals and args.action != "import":
+        print("error: journal arguments only apply to the 'import' action",
+              file=sys.stderr)
+        return 2
+    if args.action == "import" and not args.journals:
+        print("error: 'import' needs at least one journal file",
+              file=sys.stderr)
+        return 2
+    if args.action == "gc" and args.ttl is None and args.max_bytes is None:
+        print("error: 'gc' needs -ttl and/or -max_bytes", file=sys.stderr)
+        return 2
+    if args.action in ("stats", "verify", "compact", "gc") \
+            and not os.path.isdir(args.root):
+        print("error: %s is not a store directory" % args.root,
+              file=sys.stderr)
+        return 1
+    try:
+        if args.action == "verify":
+            # Deliberately does not open the store: opening runs
+            # recovery, and verify must report the damage, not heal it.
+            report = verify_store(args.root)
+            print(report.describe())
+            return 0 if report.ok else 1
+        with ResultStore(args.root) as store:
+            if args.action == "stats":
+                print(store.stats().describe())
+            elif args.action == "compact":
+                kept = store.compact()
+                print("compacted %s to %d live record(s), %d byte(s)"
+                      % (args.root, kept, store.stats().disk_bytes))
+            elif args.action == "gc":
+                print(store.gc(args.ttl, args.max_bytes).describe())
+            else:
+                for journal in args.journals:
+                    stats = store.import_journal(journal)
+                    print("%s: %s" % (journal, stats.describe()))
+        return 0
+    except (ReproError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "validate-config":
@@ -336,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_backends(argv[1:])
     if argv and argv[0] == "fuzz":
         return run_fuzz(argv[1:])
+    if argv and argv[0] == "store":
+        return run_store(argv[1:])
     args = build_parser().parse_args(argv)
     if args.faults is not None:
         try:
@@ -447,10 +538,40 @@ def _main_with_args(args) -> int:
     return 0
 
 
+def _migrate_checkpoint_to_store(path: str) -> str:
+    """Route the deprecated ``-checkpoint`` flag through the store.
+
+    An existing legacy single-file journal at *path* is set aside as
+    ``path + ".legacy-journal"`` and imported into a durable store
+    rooted at *path*; a missing path (or an existing store directory)
+    is used as the store root directly.  Returns the store root.
+    """
+    print("# note: -checkpoint is deprecated; completed benchmarks now "
+          "live in a durable result store at %s (use -store DIR)" % path,
+          file=sys.stderr)
+    if os.path.isfile(path):
+        from ..store import ResultStore
+
+        legacy = path + ".legacy-journal"
+        os.replace(path, legacy)
+        with ResultStore(path) as store:
+            stats = store.import_journal(legacy)
+        print("# note: migrated legacy journal %s into the store (%s)"
+              % (legacy, stats.describe()), file=sys.stderr)
+    return path
+
+
 def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
     """The ``-batch`` path: shard the file's benchmarks over workers."""
     from ..batch import BatchRunner, BenchmarkSpec
 
+    store = args.store
+    if args.checkpoint is not None:
+        if store is not None:
+            print("error: pass either -store or the deprecated "
+                  "-checkpoint, not both", file=sys.stderr)
+            return 1
+        store = _migrate_checkpoint_to_store(args.checkpoint)
     try:
         entries = parse_batch_file(args.batch)
     except OSError as exc:
@@ -493,7 +614,7 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
         progress=progress,
         spec_timeout=args.spec_timeout,
         max_requeues=args.max_requeues,
-        checkpoint=args.checkpoint,
+        store=store,
     )
     status = 0
     for result in runner.iter_results(specs):
@@ -523,6 +644,12 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
             "%d worker deaths, %d timeouts"
             % (report.n_replayed, report.n_requeues,
                report.n_worker_deaths, report.n_timeouts),
+            file=sys.stderr,
+        )
+    if report.n_store_hits or report.n_store_misses:
+        print(
+            "# store: %d answered from the store, %d executed and stored"
+            % (report.n_store_hits, report.n_store_misses),
             file=sys.stderr,
         )
     return status

@@ -239,6 +239,29 @@ class AnalysisError(ReproError):
     """Raised by the case-study tools when an inference cannot proceed."""
 
 
+class StoreError(ReproError):
+    """Base class for durable result-store failures (:mod:`repro.store`)."""
+
+
+class StoreFullError(StoreError):
+    """The store cannot append: the disk is full (ENOSPC) and eviction
+    could not reclaim enough space.
+
+    Not transient — retrying the same append against the same full disk
+    fails again; the caller must free space (``nanobench store gc``) or
+    grow the volume.  The store guarantees the failed append left no
+    partial record behind (partial writes are truncated before raising).
+    """
+
+
+class StoreLockError(StoreError):
+    """The store's advisory file lock could not be acquired in time.
+
+    Another process (a batch worker, a concurrent CLI run, an offline
+    compaction) holds the exclusive lock past the configured timeout.
+    """
+
+
 def is_retryable(exc: BaseException) -> bool:
     """Should the self-healing pipeline retry after *exc*?"""
     return isinstance(exc, TransientError)

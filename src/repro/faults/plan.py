@@ -63,6 +63,17 @@ ENV_SEED = "REPRO_FAULTS_SEED"
 #:   recovered by the per-item timeout);
 #: * ``spec.error`` — a transient spec-level exception before the item
 #:   executes.
+#:
+#: Durable-store faults (fired inside :mod:`repro.store` append /
+#: compaction paths, keyed by ``"digest:attempt"`` so a healed retry
+#: does not re-fire):
+#:
+#: * ``store.torn_write`` — an append or compaction write is cut short
+#:   mid-record (the kill -9 / power-loss shape); the store detects the
+#:   torn line and truncates back to the last durable record;
+#: * ``disk.full`` — the write fails with ENOSPC; the store truncates
+#:   any partial line, optionally evicts under its size budget, and
+#:   retries.
 DEFAULT_RATES: Dict[str, float] = {
     "kernel.alloc": 0.02,
     "counter.overflow": 0.01,
@@ -71,6 +82,8 @@ DEFAULT_RATES: Dict[str, float] = {
     "worker.death": 0.05,
     "worker.hang": 0.03,
     "spec.error": 0.05,
+    "store.torn_write": 0.02,
+    "disk.full": 0.01,
 }
 
 FAULT_SITES: Tuple[str, ...] = tuple(sorted(DEFAULT_RATES))

@@ -1,0 +1,92 @@
+"""Advisory file locking for multi-process store safety.
+
+Batch workers, repeated CLI runs, and offline maintenance (compaction,
+eviction) may all open the same store.  Mutations are serialized by an
+exclusive ``flock`` on a dedicated lock file in the store root — the
+same scheme the kernel module's sysfs interface relies on for its
+single-writer guarantee, and advisory by design: readers of sealed
+segments never block.
+
+The lock is reentrant within one :class:`FileLock` instance (the store
+takes it once per public mutation and again inside helpers), bounded
+(:class:`~repro.errors.StoreLockError` after ``timeout`` seconds rather
+than deadlocking a sweep), and self-cleaning (the file descriptor is
+closed on release, so a killed process drops its lock with it — flock
+locks die with the holder, which is exactly the crash semantics the
+store recovers from).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from ..errors import StoreLockError
+
+#: How long :meth:`FileLock.acquire` waits between attempts.
+_POLL_SECONDS = 0.01
+
+
+class FileLock:
+    """A reentrant, bounded, advisory exclusive lock on one file."""
+
+    def __init__(self, path: str, timeout: float = 10.0) -> None:
+        self.path = os.fspath(path)
+        self.timeout = timeout
+        self._fd = None
+        self._depth = 0
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def acquire(self) -> None:
+        """Take the exclusive lock, waiting up to ``timeout`` seconds."""
+        if self._depth > 0:
+            self._depth += 1
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._fd = fd
+            self._depth = 1
+            return
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise StoreLockError(
+                        "could not acquire the store lock %s within %.1f s "
+                        "(held by another process? see 'nanobench store')"
+                        % (self.path, self.timeout)
+                    )
+                time.sleep(_POLL_SECONDS)
+        self._fd = fd
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,91 @@
+"""Record encoding shared by the durable store and the legacy journal.
+
+A *record* is one flat JSON object with a mandatory ``digest`` key (the
+content address — the spec digest for benchmark results) and an
+optional ``sha`` key: a SHA-256 over the canonical serialization of
+every *other* key.  The checksum turns silent bit-rot into a detected,
+recoverable condition: a record whose stored ``sha`` no longer matches
+is treated as corrupt, quarantined, and re-executed on demand.
+
+The legacy checkpoint journal (:mod:`repro.batch.checkpoint`) stores a
+16-hex-digit truncated checksum; the durable store uses the full 64
+digits.  :func:`record_checksum` takes the width so both validate with
+the same code path, and :func:`validate_record` infers the width from
+the stored value — which is what keeps old journals importable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Tuple
+
+#: Record format version embedded by the durable store.
+RECORD_VERSION = 1
+
+#: Checksum widths: the journal's truncated form and the store's full form.
+JOURNAL_SHA_HEXDIGITS = 16
+STORE_SHA_HEXDIGITS = 64
+
+
+def canonical_payload(record: dict) -> dict:
+    """The record without its ``sha`` field (the checksummed content)."""
+    return {k: v for k, v in record.items() if k != "sha"}
+
+
+def record_checksum(record: dict,
+                    hexdigits: int = JOURNAL_SHA_HEXDIGITS) -> str:
+    """SHA-256 (truncated to *hexdigits*) over the canonical payload."""
+    digest = hashlib.sha256(
+        json.dumps(canonical_payload(record), sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:hexdigits]
+
+
+def validate_record(record: object) -> Tuple[bool, str]:
+    """Is *record* a structurally sound, checksum-clean record?
+
+    Returns ``(ok, reason)``; a record without a ``sha`` field is
+    accepted (legacy journals predate checksums).  The checksum width
+    is inferred from the stored value, so both journal-width and
+    store-width records validate.
+    """
+    if not isinstance(record, dict):
+        return False, "not a JSON object"
+    digest = record.get("digest")
+    if not digest or not isinstance(digest, str):
+        return False, "missing digest"
+    sha = record.get("sha")
+    if sha is None:
+        return True, ""
+    if not isinstance(sha, str) or not sha:
+        return False, "malformed checksum"
+    if record_checksum(record, hexdigits=len(sha)) != sha:
+        return False, "checksum mismatch"
+    return True, ""
+
+
+def encode_record(record: dict) -> bytes:
+    """One JSONL line (terminator included) for *record*.
+
+    No ``sort_keys``: the counter order of ``values`` is part of the
+    result (reports print in measurement order) and JSON objects
+    round-trip dict insertion order.
+    """
+    return (json.dumps(record) + "\n").encode("utf-8")
+
+
+def parse_record_line(line: bytes) -> Tuple[Optional[dict], str]:
+    """Parse and validate one stored line.
+
+    Returns ``(record, "")`` on success and ``(None, reason)`` for
+    anything torn, truncated, or bit-flipped.
+    """
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, "unparsable"
+    ok, reason = validate_record(record)
+    if not ok:
+        return None, reason
+    return record, ""

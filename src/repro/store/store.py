@@ -1,0 +1,744 @@
+"""The durable, crash-safe, content-addressed result store.
+
+At uops.info scale the expensive asset is the accumulated result set —
+tens of thousands of measured spec variants per microarchitecture — and
+:class:`ResultStore` is where it lives: a directory of segmented
+append-only JSONL files keyed by the content digest of each benchmark
+spec, built so that an acknowledged :meth:`put` survives kill -9,
+disk-full, bit-rot, and concurrent writers.
+
+Durability contract
+-------------------
+
+* **fsync-on-ack**: :meth:`put` returns only after the record is
+  flushed (and, by default, fsynced) to the active segment, so a kill
+  after the ack never loses the record.
+* **Torn-write recovery**: a kill *during* an append leaves a torn
+  trailing line; opening the store truncates the file back to the last
+  complete, checksum-valid record — losing only the write that was
+  never acknowledged.
+* **Atomic rotation/compaction**: sealed segments are only ever created
+  by ``rename`` of a fully-written, fsynced file, so every sealed
+  segment is complete; a crash mid-compaction leaves a ``*.tmp`` file
+  that the next open discards.
+* **Corruption quarantine + read-repair**: a bit-flipped interior
+  record fails its SHA-256, is moved to ``quarantine/``, and the digest
+  simply misses on the next :meth:`get` — the caller re-executes and
+  the fresh :meth:`put` rewrites it.
+* **Multi-process safety**: mutations take an advisory ``flock`` on the
+  store root, and the active-segment handle is revalidated against the
+  path's inode each append, so batch workers and repeated CLI runs can
+  share one store.
+
+Content addressing makes every operation idempotent: records are keyed
+by spec digest, duplicate puts are last-wins, and a replayed record is
+byte-identical to the original measurement (JSON round-trips floats via
+``repr``).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import StoreError, StoreFullError
+from ..faults.plan import active_plan, fault_fraction
+from .locking import FileLock
+from .records import (
+    RECORD_VERSION,
+    STORE_SHA_HEXDIGITS,
+    parse_record_line,
+    record_checksum,
+)
+from .segment import (
+    ACTIVE_NAME,
+    LOCK_NAME,
+    QUARANTINE_DIR,
+    SEGMENTS_DIR,
+    TMP_SUFFIX,
+    SegmentScan,
+    fsync_directory,
+    scan_segment,
+    segment_name,
+    segment_number,
+)
+
+#: Default rotation threshold for the active segment.
+DEFAULT_SEGMENT_BYTES = 4 << 20
+
+#: Bounded self-healing: append / compaction write attempts before the
+#: store gives up (injected faults are keyed by attempt and clear).
+_WRITE_ATTEMPTS = 3
+
+
+class _TornWriteInjected(Exception):
+    """Internal marker: the chaos plane cut this write short."""
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time accounting for one :class:`ResultStore` handle.
+
+    Counter semantics: ``records``/``segments``/``disk_bytes`` describe
+    the store as it stands; everything else counts events observed by
+    *this* handle since it was opened.
+    """
+
+    records: int = 0
+    segments: int = 0
+    disk_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    rotations: int = 0
+    compactions: int = 0
+    #: Torn tails truncated while opening or healing (acked data is
+    #: never in a torn tail, so these only drop unacknowledged bytes).
+    truncations: int = 0
+    #: Corrupt interior lines moved to ``quarantine/``.
+    quarantined: int = 0
+    #: Records dropped by TTL / size-budget eviction.
+    evicted_ttl: int = 0
+    evicted_size: int = 0
+    #: Chaos-plane injections healed in the append path.
+    healed_torn_writes: int = 0
+    healed_enospc: int = 0
+
+    def describe(self) -> str:
+        lines = [
+            "records:      %d (in %d sealed segment(s) + active)"
+            % (self.records, self.segments),
+            "disk bytes:   %d" % self.disk_bytes,
+            "gets:         %d hits, %d misses" % (self.hits, self.misses),
+            "puts:         %d (%d rotations, %d compactions)"
+            % (self.puts, self.rotations, self.compactions),
+            "recovery:     %d torn tails truncated, %d lines quarantined"
+            % (self.truncations, self.quarantined),
+            "eviction:     %d by TTL, %d by size budget"
+            % (self.evicted_ttl, self.evicted_size),
+        ]
+        if self.healed_torn_writes or self.healed_enospc:
+            lines.append(
+                "chaos healed: %d torn writes, %d ENOSPC"
+                % (self.healed_torn_writes, self.healed_enospc)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class EvictionStats:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    examined: int = 0
+    evicted_ttl: int = 0
+    evicted_size: int = 0
+    kept: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def evicted(self) -> int:
+        return self.evicted_ttl + self.evicted_size
+
+    def describe(self) -> str:
+        return (
+            "examined %d record(s): evicted %d (%d expired, %d over "
+            "budget), kept %d; %d -> %d bytes"
+            % (self.examined, self.evicted, self.evicted_ttl,
+               self.evicted_size, self.kept,
+               self.bytes_before, self.bytes_after)
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` scan (read-only)."""
+
+    segments: int = 0
+    records: int = 0
+    distinct_digests: int = 0
+    corrupt_lines: int = 0
+    torn_bytes: int = 0
+    quarantined_files: int = 0
+    disk_bytes: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.corrupt_lines == 0 and self.torn_bytes == 0
+
+    def describe(self) -> str:
+        lines = [
+            "%d record(s) (%d distinct digest(s)) in %d segment file(s), "
+            "%d bytes" % (self.records, self.distinct_digests,
+                          self.segments, self.disk_bytes),
+            "%d corrupt line(s), %d torn tail byte(s), %d quarantined "
+            "file(s)" % (self.corrupt_lines, self.torn_bytes,
+                         self.quarantined_files),
+        ]
+        lines.extend("problem: %s" % problem for problem in self.problems)
+        lines.append("verdict: %s" % ("ok" if self.ok else "NEEDS RECOVERY"))
+        return "\n".join(lines)
+
+
+@dataclass
+class ImportStats:
+    """Outcome of one :meth:`ResultStore.import_journal` call."""
+
+    imported: int = 0
+    skipped: int = 0
+
+    def describe(self) -> str:
+        return ("imported %d record(s), skipped %d corrupt/invalid line(s)"
+                % (self.imported, self.skipped))
+
+
+class ResultStore:
+    """Disk-backed content-addressed store of benchmark result records.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing).
+    segment_max_bytes / segment_max_records:
+        Rotation thresholds for the active segment; crossing either
+        seals it into ``segments/`` via atomic rename.
+    fsync:
+        fsync every acknowledged append (the durability default).
+        ``False`` trades the power-loss guarantee for speed — records
+        are still flushed, so a *process* kill loses nothing either way.
+    ttl_seconds / max_bytes:
+        Default eviction policy applied by :meth:`gc` (and by the
+        ENOSPC recovery path): drop records older than the TTL, then
+        oldest-first until the store fits the byte budget.
+    lock_timeout:
+        Bound on waiting for the advisory multi-process lock.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        *,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_max_records: Optional[int] = None,
+        fsync: bool = True,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        lock_timeout: float = 10.0,
+    ) -> None:
+        self.root = os.fspath(root)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.segment_max_records = segment_max_records
+        self.fsync = fsync
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self._segments_dir = os.path.join(self.root, SEGMENTS_DIR)
+        self._quarantine_dir = os.path.join(self.root, QUARANTINE_DIR)
+        self._active_path = os.path.join(self.root, ACTIVE_NAME)
+        os.makedirs(self._segments_dir, exist_ok=True)
+        os.makedirs(self._quarantine_dir, exist_ok=True)
+        self._lock = FileLock(os.path.join(self.root, LOCK_NAME),
+                              timeout=lock_timeout)
+        self._handle = None
+        self._active_records = 0
+        self._index: Dict[str, dict] = {}
+        self.counters = StoreStats()
+        with self._lock:
+            self._recover_and_load_locked()
+
+    # ------------------------------------------------------------------
+    # Open-time recovery and index construction
+    # ------------------------------------------------------------------
+    def _segment_names(self) -> List[str]:
+        names = [name for name in os.listdir(self._segments_dir)
+                 if segment_number(name) is not None]
+        return sorted(names, key=segment_number)
+
+    def _recover_and_load_locked(self) -> None:
+        # A crash mid-compaction/rotation leaves a temp file that was
+        # never renamed into place: it holds no acknowledged data.
+        for name in os.listdir(self._segments_dir):
+            if name.endswith(TMP_SUFFIX):
+                os.unlink(os.path.join(self._segments_dir, name))
+        self._index = {}
+        for name in self._segment_names():
+            path = os.path.join(self._segments_dir, name)
+            scan = scan_segment(path)
+            if not scan.clean:
+                scan = self._heal_segment_locked(path, scan)
+            for _, record in scan.records:
+                self._index[record["digest"]] = record
+        scan = scan_segment(self._active_path)
+        if not scan.clean:
+            scan = self._heal_segment_locked(self._active_path, scan)
+        for _, record in scan.records:
+            self._index[record["digest"]] = record
+        self._active_records = len(scan.records)
+
+    def _heal_segment_locked(self, path: str,
+                             scan: SegmentScan) -> SegmentScan:
+        """Truncate the torn tail and quarantine interior corruption."""
+        for corrupt in scan.corrupt:
+            self._quarantine_locked(path, corrupt.offset, corrupt.raw,
+                                    corrupt.reason)
+        if scan.corrupt:
+            # Rewrite without the corrupt lines so the file is clean for
+            # every later reader (atomic: tmp + fsync + rename).
+            tmp = path + TMP_SUFFIX
+            with open(tmp, "wb") as handle:
+                for _, record in scan.records:
+                    handle.write(_encode(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            fsync_directory(os.path.dirname(path))
+            warnings.warn(
+                "store %s: quarantined %d corrupt line(s) of %s "
+                "(checksum mismatch / torn write); affected specs will "
+                "be re-executed on demand"
+                % (self.root, len(scan.corrupt), os.path.basename(path))
+            )
+        elif scan.torn_bytes:
+            with open(path, "rb+") as handle:
+                handle.truncate(scan.good_bytes)
+            self.counters.truncations += 1
+        return scan_segment(path)
+
+    def _quarantine_locked(self, segment_path: str, offset: int,
+                           raw: bytes, reason: str) -> None:
+        name = "%s.%08d.raw" % (os.path.basename(segment_path), offset)
+        with open(os.path.join(self._quarantine_dir, name), "wb") as handle:
+            handle.write(raw)
+            handle.write(b"\n")
+        self.counters.quarantined += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[dict]:
+        """The stored record for *digest*, or None (count hit/miss)."""
+        record = self._index.get(digest)
+        if record is None:
+            self.counters.misses += 1
+        else:
+            self.counters.hits += 1
+        return record
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def digests(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def refresh(self) -> None:
+        """Re-scan the directory (picks up other processes' appends)."""
+        self._close_handle()
+        with self._lock:
+            self._recover_and_load_locked()
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def put(self, digest: str, payload: dict,
+            ts: Optional[float] = None) -> dict:
+        """Durably store *payload* under *digest* (last-wins).
+
+        Returns the full record as written.  On return the record is
+        flushed (and fsynced unless disabled) — the ack point of the
+        crash-safety contract.
+        """
+        record = dict(payload)
+        record["digest"] = digest
+        record.setdefault("v", RECORD_VERSION)
+        record["ts"] = float(time.time() if ts is None else ts)
+        record.pop("sha", None)
+        record["sha"] = record_checksum(record,
+                                        hexdigits=STORE_SHA_HEXDIGITS)
+        line = _encode(record)
+        with self._lock:
+            self._append_locked(digest, line)
+            self._index[digest] = record
+            self.counters.puts += 1
+            self._maybe_rotate_locked()
+        return record
+
+    def _active_handle(self):
+        """The append handle, revalidated against the path's inode.
+
+        Another process may have rotated or compacted the active
+        segment away; writing through a stale handle would append to an
+        unlinked or sealed file, so the handle is reopened whenever the
+        path no longer names the same inode.
+        """
+        if self._handle is not None:
+            try:
+                if (os.fstat(self._handle.fileno()).st_ino
+                        == os.stat(self._active_path).st_ino):
+                    return self._handle
+            except OSError:
+                pass
+            self._close_handle()
+        if self._handle is None:
+            self._handle = open(self._active_path, "ab")
+            self._active_records = len(scan_segment(self._active_path).records)
+        return self._handle
+
+    def _append_locked(self, digest: str, line: bytes) -> None:
+        plan = active_plan()
+        for attempt in range(_WRITE_ATTEMPTS):
+            handle = self._active_handle()
+            start = handle.tell()
+            key = "%s:%d" % (digest, attempt)
+            try:
+                if plan is not None and plan.fires("disk.full", key):
+                    raise OSError(errno.ENOSPC, "injected ENOSPC")
+                if plan is not None and plan.fires("store.torn_write", key):
+                    cut = max(1, int(fault_fraction("store.torn_write", key)
+                                     * (len(line) - 1)))
+                    handle.write(line[:cut])
+                    handle.flush()
+                    raise _TornWriteInjected()
+                handle.write(line)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            except _TornWriteInjected:
+                # The kill-during-append shape: heal exactly the way a
+                # restart would — truncate back to the last good record.
+                self._truncate_partial_locked(start)
+                self.counters.healed_torn_writes += 1
+                continue
+            except OSError as exc:
+                if exc.errno != errno.ENOSPC:
+                    raise
+                self._truncate_partial_locked(start)
+                self.counters.healed_enospc += 1
+                if (self.ttl_seconds is not None
+                        or self.max_bytes is not None):
+                    # Reclaim space under the configured policy before
+                    # retrying (the disk may genuinely be full).
+                    self._gc_locked(self.ttl_seconds, self.max_bytes)
+                if attempt == _WRITE_ATTEMPTS - 1:
+                    raise StoreFullError(
+                        "store %s: append failed with ENOSPC after %d "
+                        "attempt(s); no partial record was left behind"
+                        % (self.root, _WRITE_ATTEMPTS)
+                    )
+                continue
+            self._active_records += 1
+            return
+        raise StoreError(
+            "store %s: append did not complete in %d attempts"
+            % (self.root, _WRITE_ATTEMPTS)
+        )
+
+    def _truncate_partial_locked(self, offset: int) -> None:
+        handle = self._handle
+        if handle is None:
+            return
+        handle.flush()
+        handle.truncate(offset)
+        handle.seek(0, os.SEEK_END)
+        self.counters.truncations += 1
+
+    # ------------------------------------------------------------------
+    # Rotation
+    # ------------------------------------------------------------------
+    def _maybe_rotate_locked(self) -> None:
+        if self._handle is None:
+            return
+        over_bytes = self._handle.tell() >= self.segment_max_bytes
+        over_records = (self.segment_max_records is not None
+                        and self._active_records >= self.segment_max_records)
+        if over_bytes or over_records:
+            self._rotate_locked()
+
+    def rotate(self) -> Optional[str]:
+        """Seal the active segment now; returns the new segment name."""
+        with self._lock:
+            return self._rotate_locked()
+
+    def _next_segment_number(self) -> int:
+        names = self._segment_names()
+        return (segment_number(names[-1]) + 1) if names else 1
+
+    def _rotate_locked(self) -> Optional[str]:
+        handle = self._active_handle()
+        if handle.tell() == 0:
+            return None
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._close_handle()
+        name = segment_name(self._next_segment_number())
+        # Atomic: the file is complete and fsynced before it becomes a
+        # sealed segment; a kill before the rename leaves it active.
+        os.replace(self._active_path,
+                   os.path.join(self._segments_dir, name))
+        fsync_directory(self._segments_dir)
+        fsync_directory(self.root)
+        self._active_records = 0
+        self.counters.rotations += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Compaction and eviction
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Merge all segments into one, dropping superseded duplicates.
+
+        Returns the number of live records kept.  Crash-safe: the
+        merged segment is fully written and fsynced to a temp file,
+        renamed into place, and only then are the old files removed — a
+        kill at any instant leaves every acked record reachable.
+        """
+        with self._lock:
+            kept = self._rewrite_locked(list(self._index.values()))
+            self.counters.compactions += 1
+            return kept
+
+    def gc(self, ttl_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> EvictionStats:
+        """Evict per TTL / size budget (arguments override the store
+        defaults), compacting the survivors.  Returns eviction stats."""
+        with self._lock:
+            return self._gc_locked(
+                self.ttl_seconds if ttl_seconds is None else ttl_seconds,
+                self.max_bytes if max_bytes is None else max_bytes,
+            )
+
+    def _gc_locked(self, ttl_seconds: Optional[float],
+                   max_bytes: Optional[int]) -> EvictionStats:
+        stats = EvictionStats(examined=len(self._index),
+                              bytes_before=self._disk_bytes())
+        now = time.time()
+        live: List[dict] = []
+        for record in self._index.values():
+            age = now - float(record.get("ts", now))
+            if ttl_seconds is not None and age > ttl_seconds:
+                stats.evicted_ttl += 1
+            else:
+                live.append(record)
+        if max_bytes is not None:
+            # Oldest-first until the live set fits the budget.
+            live.sort(key=lambda r: (float(r.get("ts", 0.0)), r["digest"]))
+            sizes = [len(_encode(record)) for record in live]
+            total = sum(sizes)
+            drop = 0
+            while drop < len(live) and total > max_bytes:
+                total -= sizes[drop]
+                drop += 1
+            stats.evicted_size = drop
+            live = live[drop:]
+        stats.kept = len(live)
+        if stats.evicted or len(self._segment_names()) > 0:
+            self._rewrite_locked(live)
+        stats.bytes_after = self._disk_bytes()
+        self.counters.evicted_ttl += stats.evicted_ttl
+        self.counters.evicted_size += stats.evicted_size
+        return stats
+
+    def _rewrite_locked(self, records: List[dict]) -> int:
+        """Atomically replace every segment with one holding *records*."""
+        self._close_handle()
+        old_segments = self._segment_names()
+        number = self._next_segment_number()
+        final = os.path.join(self._segments_dir, segment_name(number))
+        tmp = final + TMP_SUFFIX
+        plan = active_plan()
+        for attempt in range(_WRITE_ATTEMPTS):
+            key = "compact:%d:%d" % (number, attempt)
+            try:
+                with open(tmp, "wb") as handle:
+                    for index, record in enumerate(records):
+                        line = _encode(record)
+                        if (plan is not None and index == len(records) // 2
+                                and plan.fires("store.torn_write", key)):
+                            cut = max(1, len(line) // 2)
+                            handle.write(line[:cut])
+                            handle.flush()
+                            raise _TornWriteInjected()
+                        if (plan is not None and index == len(records) // 2
+                                and plan.fires("disk.full", key)):
+                            raise OSError(errno.ENOSPC, "injected ENOSPC")
+                        handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except _TornWriteInjected:
+                os.unlink(tmp)
+                self.counters.healed_torn_writes += 1
+                continue
+            except OSError as exc:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                if exc.errno != errno.ENOSPC:
+                    raise
+                self.counters.healed_enospc += 1
+                if attempt == _WRITE_ATTEMPTS - 1:
+                    raise StoreFullError(
+                        "store %s: compaction failed with ENOSPC; the "
+                        "original segments are untouched" % self.root
+                    )
+                continue
+            break
+        else:
+            # Every attempt was cut short: the merge never happened,
+            # but the original segments are untouched.
+            raise StoreError(
+                "store %s: compaction did not complete in %d attempts"
+                % (self.root, _WRITE_ATTEMPTS)
+            )
+        os.replace(tmp, final)
+        fsync_directory(self._segments_dir)
+        # Only after the merged segment is durable do the superseded
+        # files go away; a kill in between leaves harmless duplicates
+        # that last-wins indexing resolves on the next open.
+        for name in old_segments:
+            os.unlink(os.path.join(self._segments_dir, name))
+        try:
+            os.unlink(self._active_path)
+        except FileNotFoundError:
+            pass
+        fsync_directory(self._segments_dir)
+        fsync_directory(self.root)
+        self._active_records = 0
+        self._index = {record["digest"]: record for record in records}
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def _disk_bytes(self) -> int:
+        total = 0
+        for name in self._segment_names():
+            total += os.path.getsize(os.path.join(self._segments_dir, name))
+        if os.path.exists(self._active_path):
+            total += os.path.getsize(self._active_path)
+        return total
+
+    def stats(self) -> StoreStats:
+        """A snapshot combining store state and this handle's counters."""
+        snapshot = StoreStats(**vars(self.counters))
+        snapshot.records = len(self._index)
+        snapshot.segments = len(self._segment_names())
+        snapshot.disk_bytes = self._disk_bytes()
+        return snapshot
+
+    def verify(self) -> VerifyReport:
+        """Read-only scan of every segment: counts corrupt lines and
+        torn tails without healing anything (use :meth:`refresh` or a
+        reopen to heal)."""
+        return verify_store(self.root)
+
+    # ------------------------------------------------------------------
+    # Legacy-journal migration
+    # ------------------------------------------------------------------
+    def import_journal(self, path: Union[str, "os.PathLike[str]"]
+                       ) -> ImportStats:
+        """Migrate a legacy JSONL checkpoint journal into the store.
+
+        Journal records (16-hex truncated checksums, or none at all)
+        are validated, re-checksummed at store width, and appended;
+        corrupt lines are skipped with the count reported.  Replays are
+        byte-identical because the payload fields are untouched.
+        """
+        stats = ImportStats()
+        with open(path, "rb") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                record, _ = parse_record_line(line)
+                if record is None:
+                    stats.skipped += 1
+                    continue
+                digest = record.pop("digest")
+                record.pop("sha", None)
+                record.pop("ts", None)
+                self.put(digest, record)
+                stats.imported += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        self._close_handle()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _encode(record: dict) -> bytes:
+    return (json.dumps(record) + "\n").encode("utf-8")
+
+
+def open_store(store: Union[str, "os.PathLike[str]", ResultStore],
+               **kwargs) -> ResultStore:
+    """Coerce a path (or pass through an instance) to a ResultStore."""
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(os.fspath(store), **kwargs)
+
+
+def verify_store(root: Union[str, "os.PathLike[str]"]) -> VerifyReport:
+    """Verify a store directory WITHOUT opening (and therefore without
+    healing) it — the pure inspection path of ``nanobench store verify``.
+
+    Opening a :class:`ResultStore` runs recovery as a side effect; this
+    scans the files as they lie, so a damaged store can be examined
+    before anything touches it.
+    """
+    root = os.fspath(root)
+    segments_dir = os.path.join(root, SEGMENTS_DIR)
+    quarantine_dir = os.path.join(root, QUARANTINE_DIR)
+    report = VerifyReport()
+    paths = []
+    if os.path.isdir(segments_dir):
+        names = sorted(
+            (name for name in os.listdir(segments_dir)
+             if segment_number(name) is not None),
+            key=segment_number,
+        )
+        paths.extend(os.path.join(segments_dir, name) for name in names)
+    active = os.path.join(root, ACTIVE_NAME)
+    if os.path.exists(active):
+        paths.append(active)
+    digests = set()
+    for path in paths:
+        report.segments += 1
+        report.disk_bytes += os.path.getsize(path)
+        scan = scan_segment(path)
+        report.records += len(scan.records)
+        digests.update(record["digest"] for _, record in scan.records)
+        report.corrupt_lines += len(scan.corrupt)
+        report.torn_bytes += scan.torn_bytes
+        for corrupt in scan.corrupt:
+            report.problems.append(
+                "%s@%d: %s" % (os.path.basename(path), corrupt.offset,
+                               corrupt.reason)
+            )
+        if scan.torn_bytes:
+            report.problems.append(
+                "%s: torn tail of %d byte(s)"
+                % (os.path.basename(path), scan.torn_bytes)
+            )
+    report.distinct_digests = len(digests)
+    if os.path.isdir(quarantine_dir):
+        report.quarantined_files = len(os.listdir(quarantine_dir))
+    return report

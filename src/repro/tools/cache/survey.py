@@ -16,6 +16,7 @@ Combines the two identification tools the way Section VI-D does:
 
 from __future__ import annotations
 
+import hashlib
 import random
 import warnings
 from dataclasses import dataclass, field
@@ -209,6 +210,61 @@ def _survey_one(task: Tuple[str, int, int, object, str]) -> CpuSurvey:
                       stability=stability, backend=backend)
 
 
+#: Bumped whenever the survey algorithm or record layout changes, so a
+#: stored survey from an older pipeline is never replayed as current.
+_SURVEY_RECORD_VERSION = 1
+
+
+def _survey_digest(uarch: str, seed: int, buffer_mb: int, stability,
+                   backend: str) -> str:
+    """Content digest of one whole-CPU survey task (the store key)."""
+    if stability is not None and not isinstance(stability, tuple):
+        stability = tuple(sorted(vars(stability).items()))
+    identity = repr(("cpu-survey", _SURVEY_RECORD_VERSION, uarch, seed,
+                     buffer_mb, stability, backend))
+    return hashlib.sha256(identity.encode()).hexdigest()
+
+
+def survey_to_record(survey: CpuSurvey) -> dict:
+    """Serialize a survey for the durable result store."""
+    return {
+        "kind": "cpu-survey",
+        "survey_v": _SURVEY_RECORD_VERSION,
+        "uarch": survey.uarch,
+        "cpu_model": survey.cpu_model,
+        "quality": survey.quality,
+        "levels": {
+            str(level): {
+                "level": ls.level,
+                "size_bytes": ls.size_bytes,
+                "associativity": ls.associativity,
+                "policy": ls.policy,
+                "survivors": list(ls.survivors),
+                "method": ls.method,
+                "note": ls.note,
+            }
+            for level, ls in survey.levels.items()
+        },
+    }
+
+
+def survey_from_record(record: dict) -> CpuSurvey:
+    """Rebuild the :class:`CpuSurvey` a store record describes."""
+    survey = CpuSurvey(uarch=record["uarch"], cpu_model=record["cpu_model"],
+                       quality=record.get("quality"))
+    for key, fields in record.get("levels", {}).items():
+        survey.levels[int(key)] = LevelSurvey(
+            level=fields["level"],
+            size_bytes=fields["size_bytes"],
+            associativity=fields["associativity"],
+            policy=fields["policy"],
+            survivors=tuple(fields.get("survivors", ())),
+            method=fields.get("method", ""),
+            note=fields.get("note", ""),
+        )
+    return survey
+
+
 def survey_cpus(
     uarchs: Sequence[str],
     seed: int = 0,
@@ -217,6 +273,7 @@ def survey_cpus(
     progress: Optional[Callable[[int, int, object], None]] = None,
     stability=None,
     backend: str = DEFAULT_BACKEND,
+    store=None,
 ) -> Dict[str, CpuSurvey]:
     """Survey several CPUs, optionally sharded across worker processes.
 
@@ -228,21 +285,52 @@ def survey_cpus(
     A CPU whose survey fails (e.g. AMD's undisableable prefetchers,
     Section VI-D) is reported with a warning and omitted from the
     returned mapping instead of aborting the whole multi-CPU sweep.
+
+    With *store* (a :class:`repro.store.ResultStore` or its path),
+    completed surveys are durably cached content-addressed by their
+    full task identity — resubmitting a surveyed CPU answers from the
+    store without running a single measurement.
     """
+    resolved_store = None
+    if store is not None:
+        from ...store import open_store
+
+        resolved_store = open_store(store)
+    surveys: Dict[str, CpuSurvey] = {}
+    pending: List[str] = []
+    for uarch in uarchs:
+        if resolved_store is None:
+            pending.append(uarch)
+            continue
+        record = resolved_store.get(
+            _survey_digest(uarch, seed, buffer_mb, stability, backend)
+        )
+        if record is not None:
+            surveys[uarch] = survey_from_record(record)
+        else:
+            pending.append(uarch)
     outcomes = parallel_map(
         _survey_one,
-        [(uarch, seed, buffer_mb, stability, backend) for uarch in uarchs],
+        [(uarch, seed, buffer_mb, stability, backend) for uarch in pending],
         jobs=jobs,
         progress=progress,
         on_error="capture",
     )
-    surveys: Dict[str, CpuSurvey] = {}
-    for uarch, outcome in zip(uarchs, outcomes):
+    for uarch, outcome in zip(pending, outcomes):
         if outcome.ok:
             surveys[uarch] = outcome.value
+            if resolved_store is not None:
+                # Only successful surveys are cached; a failed CPU is
+                # retried on the next submission.
+                resolved_store.put(
+                    _survey_digest(uarch, seed, buffer_mb, stability,
+                                   backend),
+                    survey_to_record(outcome.value),
+                )
         else:
             warnings.warn(
                 "survey of %s failed (%s: %s); omitting it from the sweep"
                 % (uarch, outcome.error_type, outcome.error)
             )
-    return surveys
+    # Preserve the caller's uarch order regardless of hit/miss split.
+    return {uarch: surveys[uarch] for uarch in uarchs if uarch in surveys}

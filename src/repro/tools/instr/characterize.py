@@ -43,6 +43,7 @@ def characterize_corpus_batched(
     progress: Optional[Callable[[int, int, object], None]] = None,
     stability=None,
     backend: str = "sim",
+    store=None,
 ) -> List[InstructionProfile]:
     """The corpus sweep through the batch engine (``repro.batch``).
 
@@ -51,6 +52,12 @@ def characterize_corpus_batched(
     the per-variant profiles.  Results are identical to
     :func:`characterize_corpus` on a fresh core for any ``jobs`` value;
     the parallel path is the one the full uops.info-scale sweeps use.
+
+    With *store* (a :class:`repro.store.ResultStore` or its path), the
+    sweep is incremental: specs whose digest is already stored are
+    answered from the store without re-simulation — resubmitting a
+    characterized corpus costs no measurement at all — and fresh
+    results are durably recorded for the next sweep.
     """
     if variants is None:
         variants = corpus_for_family(get_spec(uarch).family)
@@ -70,7 +77,7 @@ def characterize_corpus_batched(
             variant_specs(variant, uarch, seed=seed, kernel_mode=kernel_mode,
                           stability=stability, backend=backend)
         )
-    runner = BatchRunner(jobs, progress=progress)
+    runner = BatchRunner(jobs, progress=progress, store=store)
     results = runner.run(specs)
     profiles: List[InstructionProfile] = []
     cursor = 0
