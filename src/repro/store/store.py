@@ -265,6 +265,12 @@ class ResultStore:
         for name in os.listdir(self._segments_dir):
             if name.endswith(TMP_SUFFIX):
                 os.unlink(os.path.join(self._segments_dir, name))
+        # Healing the active segment stages its rewrite in the store
+        # root (active.jsonl.tmp); a crash mid-heal leaves it behind.
+        try:
+            os.unlink(self._active_path + TMP_SUFFIX)
+        except FileNotFoundError:
+            pass
         self._index = {}
         for name in self._segment_names():
             path = os.path.join(self._segments_dir, name)
@@ -387,7 +393,11 @@ class ResultStore:
                 pass
             self._close_handle()
         if self._handle is None:
-            self._handle = open(self._active_path, "ab")
+            # Unbuffered: a failed append must leave no user-space
+            # buffer whose later flush/close would replay the failed
+            # bytes (every append flushes immediately, so buffering
+            # gains nothing here anyway).
+            self._handle = open(self._active_path, "ab", buffering=0)
             self._active_records = len(scan_segment(self._active_path).records)
         return self._handle
 
@@ -406,8 +416,15 @@ class ResultStore:
                     handle.write(line[:cut])
                     handle.flush()
                     raise _TornWriteInjected()
-                handle.write(line)
-                handle.flush()
+                written = handle.write(line)
+                if written != len(line):
+                    # A short raw write is the disk-full shape without
+                    # the exception: the tail never reached the file.
+                    raise OSError(
+                        errno.ENOSPC,
+                        "short write (%d of %d bytes)"
+                        % (written, len(line)),
+                    )
                 if self.fsync:
                     os.fsync(handle.fileno())
             except _TornWriteInjected:
@@ -441,10 +458,12 @@ class ResultStore:
         )
 
     def _truncate_partial_locked(self, offset: int) -> None:
+        # The handle is unbuffered, so the failed bytes exist only on
+        # disk (if at all) — there is no stale user-space buffer whose
+        # flush could retry them and re-raise out of this recovery path.
         handle = self._handle
         if handle is None:
             return
-        handle.flush()
         handle.truncate(offset)
         handle.seek(0, os.SEEK_END)
         self.counters.truncations += 1
@@ -500,6 +519,12 @@ class ResultStore:
         kill at any instant leaves every acked record reachable.
         """
         with self._lock:
+            # Merge from the on-disk truth, not this handle's possibly
+            # stale view: another process may have durably appended or
+            # rotated since our last load, and the rewrite below unlinks
+            # every old file — anything missing from the index would be
+            # permanently lost.
+            self._recover_and_load_locked()
             kept = self._rewrite_locked(list(self._index.values()))
             self.counters.compactions += 1
             return kept
@@ -516,6 +541,10 @@ class ResultStore:
 
     def _gc_locked(self, ttl_seconds: Optional[float],
                    max_bytes: Optional[int]) -> EvictionStats:
+        # Evict against the on-disk truth: the survivors are rewritten
+        # and every old file unlinked, so records another process acked
+        # since this handle's last load must be in the index first.
+        self._recover_and_load_locked()
         stats = EvictionStats(examined=len(self._index),
                               bytes_before=self._disk_bytes())
         now = time.time()

@@ -292,45 +292,53 @@ def survey_cpus(
     store without running a single measurement.
     """
     resolved_store = None
+    owns_store = False
     if store is not None:
-        from ...store import open_store
+        from ...store import ResultStore, open_store
 
         resolved_store = open_store(store)
-    surveys: Dict[str, CpuSurvey] = {}
-    pending: List[str] = []
-    for uarch in uarchs:
-        if resolved_store is None:
-            pending.append(uarch)
-            continue
-        record = resolved_store.get(
-            _survey_digest(uarch, seed, buffer_mb, stability, backend)
-        )
-        if record is not None:
-            surveys[uarch] = survey_from_record(record)
-        else:
-            pending.append(uarch)
-    outcomes = parallel_map(
-        _survey_one,
-        [(uarch, seed, buffer_mb, stability, backend) for uarch in pending],
-        jobs=jobs,
-        progress=progress,
-        on_error="capture",
-    )
-    for uarch, outcome in zip(pending, outcomes):
-        if outcome.ok:
-            surveys[uarch] = outcome.value
-            if resolved_store is not None:
-                # Only successful surveys are cached; a failed CPU is
-                # retried on the next submission.
-                resolved_store.put(
-                    _survey_digest(uarch, seed, buffer_mb, stability,
-                                   backend),
-                    survey_to_record(outcome.value),
-                )
-        else:
-            warnings.warn(
-                "survey of %s failed (%s: %s); omitting it from the sweep"
-                % (uarch, outcome.error_type, outcome.error)
+        owns_store = not isinstance(store, ResultStore)
+    try:
+        surveys: Dict[str, CpuSurvey] = {}
+        pending: List[str] = []
+        for uarch in uarchs:
+            if resolved_store is None:
+                pending.append(uarch)
+                continue
+            record = resolved_store.get(
+                _survey_digest(uarch, seed, buffer_mb, stability, backend)
             )
-    # Preserve the caller's uarch order regardless of hit/miss split.
-    return {uarch: surveys[uarch] for uarch in uarchs if uarch in surveys}
+            if record is not None:
+                surveys[uarch] = survey_from_record(record)
+            else:
+                pending.append(uarch)
+        outcomes = parallel_map(
+            _survey_one,
+            [(uarch, seed, buffer_mb, stability, backend)
+             for uarch in pending],
+            jobs=jobs,
+            progress=progress,
+            on_error="capture",
+        )
+        for uarch, outcome in zip(pending, outcomes):
+            if outcome.ok:
+                surveys[uarch] = outcome.value
+                if resolved_store is not None:
+                    # Only successful surveys are cached; a failed CPU is
+                    # retried on the next submission.
+                    resolved_store.put(
+                        _survey_digest(uarch, seed, buffer_mb, stability,
+                                       backend),
+                        survey_to_record(outcome.value),
+                    )
+            else:
+                warnings.warn(
+                    "survey of %s failed (%s: %s); omitting it from the "
+                    "sweep" % (uarch, outcome.error_type, outcome.error)
+                )
+        # Preserve the caller's uarch order regardless of hit/miss split.
+        return {uarch: surveys[uarch] for uarch in uarchs
+                if uarch in surveys}
+    finally:
+        if owns_store and resolved_store is not None:
+            resolved_store.close()

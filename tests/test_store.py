@@ -205,6 +205,19 @@ class TestResultStore:
             assert len(store) == 2
         assert not os.path.exists(tmp)
 
+    def test_stale_active_heal_tmp_removed_on_open(self, tmp_path):
+        # Healing the active segment stages root/active.jsonl.tmp; a
+        # crash mid-heal must not leave it behind forever.
+        root = str(tmp_path / "s")
+        with ResultStore(root) as store:
+            _fill(store, 2)
+        tmp = os.path.join(root, ACTIVE_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write("half a heal")
+        with ResultStore(root) as store:
+            assert len(store) == 2
+        assert not os.path.exists(tmp)
+
     def test_open_store_passthrough(self, tmp_path):
         store = ResultStore(str(tmp_path / "s"))
         assert open_store(store) is store
@@ -325,6 +338,41 @@ class TestLocking:
             pass
         with FileLock(path, timeout=0.05):
             pass  # acquirable again
+
+
+class TestMultiHandle:
+    """Two handles sharing one store root (the multi-process shape)."""
+
+    def test_compaction_merges_other_handles_appends(self, tmp_path):
+        root = str(tmp_path / "s")
+        ours = ResultStore(root)
+        ours.put(_digest(0), _payload(0))
+        theirs = ResultStore(root)
+        theirs.put(_digest(1), _payload(1))
+        # Our in-memory index has never seen the other handle's acked
+        # record; compaction must still merge it from disk rather than
+        # rewrite (and unlink) from the stale view.
+        assert _digest(1) not in ours
+        assert ours.compact() == 2
+        assert ours.get(_digest(1)) is not None
+        theirs.close()
+        ours.close()
+        with ResultStore(root) as reopened:
+            assert len(reopened) == 2
+
+    def test_gc_preserves_other_handles_appends(self, tmp_path):
+        root = str(tmp_path / "s")
+        ours = ResultStore(root)
+        ours.put(_digest(0), _payload(0))
+        theirs = ResultStore(root)
+        theirs.put(_digest(1), _payload(1))
+        stats = ours.gc()
+        assert stats.evicted == 0 and stats.kept == 2
+        assert ours.get(_digest(1)) is not None
+        theirs.close()
+        ours.close()
+        with ResultStore(root) as reopened:
+            assert len(reopened) == 2
 
 
 # ----------------------------------------------------------------------
@@ -509,6 +557,29 @@ class TestToolWiring:
             assert vars(first[uarch])["cpu_model"] == \
                 vars(second[uarch])["cpu_model"]
             assert first[uarch].levels[1] == second[uarch].levels[1]
+
+    def test_survey_cpus_closes_store_it_opened(self, tmp_path, monkeypatch):
+        from repro.tools.cache import survey as survey_mod
+
+        def fake_survey(uarch, seed=0, buffer_mb=128, stability=None,
+                        backend="sim"):
+            return survey_mod.CpuSurvey(uarch=uarch, cpu_model="Fake 9000")
+
+        monkeypatch.setattr(survey_mod, "survey_cpu", fake_survey)
+        closed = []
+        original_close = ResultStore.close
+        monkeypatch.setattr(
+            ResultStore, "close",
+            lambda self: (closed.append(self.root), original_close(self)),
+        )
+        root = str(tmp_path / "store")
+        survey_mod.survey_cpus(["Skylake"], store=root)
+        assert closed == [root]  # opened from a path -> closed here
+        closed.clear()
+        store = ResultStore(root)
+        survey_mod.survey_cpus(["Skylake"], store=store)
+        assert closed == []  # caller-owned instance stays open
+        store.close()
 
     def test_survey_record_roundtrip(self):
         from repro.tools.cache.survey import (
