@@ -1,0 +1,94 @@
+"""A9 — Benchmark service: HTTP submission overhead and warm replay.
+
+Runs one fixed-seed spec batch through a live in-process
+``repro.server`` instance (real HTTP over localhost) twice against one
+durable store.  The cold submission simulates and stores every spec;
+the warm submission must be answered entirely from the store — the
+service-level zero-re-simulation guarantee — and the HTTP/queue/journal
+layers must add only a small constant cost per job on top of the
+direct ``BatchRunner`` path.
+
+Checked properties:
+
+* the warm job reports ``n_store_misses == 0`` and
+  ``n_store_hits == n_specs`` (BatchReport-level proof over the wire);
+* warm result values are byte-identical to the cold run's;
+* warm replay through the full service stack is at least 5x faster
+  than the cold simulate-and-store pass.
+"""
+
+import time
+
+from repro.batch import spec_from_run_kwargs
+from repro.server import BenchServer, JobQueue, QuotaPolicy, ServerClient
+
+from conftest import run_once
+
+#: Fixed-seed corpus: enough work for a stable cold/warm contrast.
+KERNELS = [
+    ("nop", ""), ("add RAX, RAX", ""), ("imul RAX, RBX", ""),
+    ("xor RCX, RCX", ""), ("mov R14, [R14]", "mov [R14], R14"),
+    ("add RAX, RBX", ""), ("sub RCX, RDX", ""), ("and RAX, RBX", ""),
+    ("lea RAX, [RBX+8]", ""), ("shl RAX, 3", ""),
+]
+
+
+def _specs():
+    return [
+        spec_from_run_kwargs(asm=asm, asm_init=asm_init, seed=4,
+                             n_measurements=4, unroll_count=20,
+                             label="%d" % index)
+        for index, (asm, asm_init) in enumerate(KERNELS)
+    ]
+
+
+def _values(payload):
+    return [(outcome["label"], outcome["values"])
+            for outcome in payload["outcomes"]]
+
+
+def test_a9_service_replay(benchmark, report, tmp_path):
+    root = str(tmp_path / "service.store")
+
+    def experiment():
+        queue = JobQueue(root, quota=QuotaPolicy(rate=1000, burst=1000))
+        server = BenchServer(queue, port=0)
+        server.start()
+        try:
+            client = ServerClient(*server.address, client="bench-a9")
+            started = time.perf_counter()
+            cold = client.run(_specs(), timeout=600.0)
+            cold_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = client.run(_specs(), timeout=600.0)
+            warm_seconds = time.perf_counter() - started
+        finally:
+            drained = server.drain(timeout=60.0)
+        return cold, cold_seconds, warm, warm_seconds, drained
+
+    cold, cold_seconds, warm, warm_seconds, drained = \
+        run_once(benchmark, experiment)
+
+    n = len(KERNELS)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    report("A9_service_replay", "\n".join([
+        "%d specs per job over live HTTP (localhost)" % n,
+        "cold job (simulate + store):   %7.2f s" % cold_seconds,
+        "warm job (replay from store):  %7.2f s" % warm_seconds,
+        "cold store traffic: %d hits, %d misses"
+        % (cold["n_store_hits"], cold["n_store_misses"]),
+        "warm store traffic: %d hits, %d misses"
+        % (warm["n_store_hits"], warm["n_store_misses"]),
+        "replay speedup through the full service stack: %.1fx" % speedup,
+        "values byte-identical: %s" % (_values(cold) == _values(warm)),
+        "drained clean: %s" % drained,
+    ]))
+
+    assert cold["n_errors"] == 0 and warm["n_errors"] == 0
+    assert (cold["n_store_hits"], cold["n_store_misses"]) == (0, n)
+    assert (warm["n_store_hits"], warm["n_store_misses"]) == (n, 0)
+    assert _values(cold) == _values(warm)
+    assert drained
+    assert speedup >= 5.0, (
+        "expected >= 5x from warm service replay, got %.1fx" % speedup
+    )

@@ -33,6 +33,13 @@ store (``-store DIR``); the ``store`` subcommand maintains it offline::
     nanobench -batch benchmarks.txt -store results.store
     nanobench store stats results.store
     nanobench store import results.store old-journal.jsonl
+
+The same store can back a long-lived benchmark server — multi-tenant
+job queue, per-client quotas, crash-safe journal, graceful drain —
+with a submission client on the other side::
+
+    nanobench serve -store results.store -port 8431
+    nanobench submit -port 8431 -batch benchmarks.txt -client alice
 """
 
 from __future__ import annotations
@@ -341,6 +348,215 @@ def run_fuzz(argv: List[str]) -> int:
     return 1 if result.exact_divergences or result.stats.invalid else 0
 
 
+def run_serve(argv: List[str]) -> int:
+    """The ``serve`` subcommand: the long-lived benchmark server.
+
+    Starts an HTTP/JSON service over a durable result store:
+    ``POST /v1/jobs`` accepts BenchmarkSpec batches (admission-checked
+    against per-client token-bucket quotas and a bounded queue),
+    ``GET /v1/jobs/{id}`` / ``GET /v1/results/{digest}`` serve status
+    and stored records, and ``/healthz`` / ``/readyz`` / ``/v1/stats``
+    expose liveness, drain state, and counters.  SIGTERM drains
+    gracefully: admission stops, ``/readyz`` flips to 503, the running
+    job finishes or checkpoints within ``-drain_timeout`` seconds, and
+    unfinished jobs resume from the journal on the next start.
+    """
+    import signal
+    import threading
+
+    parser = argparse.ArgumentParser(
+        prog="nanobench serve",
+        description="serve benchmark submissions over HTTP, backed by "
+                    "a durable content-addressed result store",
+    )
+    parser.add_argument("-store", required=True, metavar="DIR",
+                        help="durable result store directory (also holds "
+                             "the crash-safe job journal)")
+    parser.add_argument("-host", default="127.0.0.1")
+    parser.add_argument("-port", type=int, default=8431,
+                        help="listening port (default 8431; 0 = ephemeral, "
+                             "printed on startup)")
+    parser.add_argument("-quota", type=float, default=50.0, metavar="RATE",
+                        help="per-client quota in specs/second "
+                             "(default 50; 0 disables quotas)")
+    parser.add_argument("-quota_burst", type=int, default=200, metavar="N",
+                        help="per-client burst capacity in specs "
+                             "(default 200)")
+    parser.add_argument("-max_queue", type=int, default=10000, metavar="N",
+                        help="bound on queued specs across all clients; "
+                             "beyond it submissions get 429 + Retry-After "
+                             "(default 10000)")
+    parser.add_argument("-drain_timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="SIGTERM drain budget: the running job may "
+                             "finish for this long before it is "
+                             "checkpointed for the next start (default 30)")
+    parser.add_argument("-jobs", type=int, default=1,
+                        help="worker processes per job (default 1)")
+    parser.add_argument("-cycle_budget", type=int, default=None, metavar="N",
+                        help="watchdog cycle budget injected into every "
+                             "spec that has none (default off)")
+    parser.add_argument("-uop_budget", type=int, default=None, metavar="N",
+                        help="watchdog uop budget injected into every "
+                             "spec that has none (default off)")
+    parser.add_argument("-job_deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-job wall deadline (default none)")
+    parser.add_argument("-spec_timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-spec deadline when -jobs > 1")
+    parser.add_argument("-faults", default=None, metavar="SPEC",
+                        help="arm the fault-injection plane ('chaos' or "
+                             "'site=rate,...'), e.g. "
+                             "'server.accept_drop=0.05'")
+    parser.add_argument("-fault_seed", type=int, default=0)
+    parser.add_argument("-verbose", action="store_true",
+                        help="log every request to stderr")
+    args = parser.parse_args(argv)
+    from ..server import BenchServer, JobQueue, QuotaPolicy
+
+    plan = None
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print("invalid -faults spec: %s" % exc, file=sys.stderr)
+            return 1
+        plan.__enter__()
+    quota = None
+    if args.quota > 0:
+        quota = QuotaPolicy(rate=args.quota, burst=args.quota_burst)
+    try:
+        queue = JobQueue(
+            args.store,
+            quota=quota,
+            max_queued_specs=args.max_queue,
+            jobs=args.jobs,
+            cycle_budget=args.cycle_budget,
+            uop_budget=args.uop_budget,
+            default_deadline_seconds=args.job_deadline,
+            spec_timeout=args.spec_timeout,
+        )
+        server = BenchServer(queue, host=args.host, port=args.port,
+                             drain_timeout=args.drain_timeout,
+                             verbose=args.verbose)
+    except (ReproError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    stats = queue.stats()
+    if stats.jobs_recovered:
+        print("# recovered %d unfinished job(s) from the journal"
+              % stats.jobs_recovered, file=sys.stderr)
+    shutdown = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: shutdown.set())
+    server.start()
+    print("# serving on http://%s:%d (store %s); SIGTERM drains"
+          % (server.address[0], server.port, args.store), file=sys.stderr)
+    shutdown.wait()
+    print("# draining (budget %.1f s): admission stopped, /readyz -> 503"
+          % args.drain_timeout, file=sys.stderr)
+    drained = server.drain(args.drain_timeout)
+    final = queue.stats_counters
+    print("# drained %s: %d job(s) completed, %d checkpointed for the "
+          "next start" % ("clean" if drained else "with checkpoint",
+                          final.jobs_completed, final.jobs_checkpointed),
+          file=sys.stderr)
+    if plan is not None:
+        plan.__exit__(None, None, None)
+    return 0
+
+
+def run_submit(argv: List[str]) -> int:
+    """The ``submit`` subcommand: send benchmarks to a running server.
+
+    Exit status: 0 on success, 1 on a fatal rejection or failed specs,
+    75 (EX_TEMPFAIL) on a retryable rejection (over quota, queue full,
+    server draining) — the ``Retry-After`` hint is printed to stderr.
+    """
+    parser = argparse.ArgumentParser(
+        prog="nanobench submit",
+        description="submit benchmarks to a 'nanobench serve' instance "
+                    "and (by default) wait for the results",
+    )
+    parser.add_argument("-host", default="127.0.0.1")
+    parser.add_argument("-port", type=int, default=8431)
+    parser.add_argument("-client", default="anonymous", metavar="NAME",
+                        help="client name for quota accounting")
+    parser.add_argument("-asm", default="", help="one benchmark to submit")
+    parser.add_argument("-asm_init", default="")
+    parser.add_argument("-batch", default=None, metavar="FILE",
+                        help="submit every benchmark in FILE (one 'asm' "
+                             "or 'asm | asm_init' per line)")
+    parser.add_argument("-uarch", default="Skylake")
+    parser.add_argument("-backend", default="sim")
+    parser.add_argument("-seed", type=int, default=0)
+    parser.add_argument("-kernel", action="store_true", default=True)
+    parser.add_argument("-user", dest="kernel", action="store_false")
+    parser.add_argument("-deadline", type=float, default=None,
+                        metavar="SECONDS", help="per-job wall deadline")
+    parser.add_argument("-no_wait", action="store_true",
+                        help="print the job id and exit without waiting")
+    parser.add_argument("-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="how long to wait for results (default 300)")
+    args = parser.parse_args(argv)
+    from ..batch import BenchmarkSpec
+    from ..errors import ServerError, is_retryable
+    from ..server import ServerClient, ServerUnavailableError
+
+    if args.batch is not None:
+        try:
+            entries = parse_batch_file(args.batch)
+        except OSError as exc:
+            print("cannot read batch file: %s" % exc, file=sys.stderr)
+            return 1
+    elif args.asm:
+        entries = [(args.asm, args.asm_init)]
+    else:
+        print("error: pass -asm or -batch FILE", file=sys.stderr)
+        return 1
+    specs = [
+        BenchmarkSpec(asm=asm, asm_init=asm_init, uarch=args.uarch,
+                      seed=args.seed, kernel_mode=args.kernel,
+                      label="%d" % index, backend=args.backend)
+        for index, (asm, asm_init) in enumerate(entries)
+    ]
+    client = ServerClient(host=args.host, port=args.port,
+                          client=args.client)
+    try:
+        accepted = client.submit(specs, deadline_seconds=args.deadline)
+        if args.no_wait:
+            print(accepted["job_id"])
+            return 0
+        payload = client.wait(accepted["job_id"], timeout=args.timeout)
+    except ServerError as exc:
+        retryable = is_retryable(exc)
+        print("error: %s" % exc, file=sys.stderr)
+        if retryable and exc.retry_after is not None:
+            print("retry after %.2f s" % exc.retry_after, file=sys.stderr)
+        return 75 if retryable else 1
+    except ServerUnavailableError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 75
+    status = 0
+    for outcome in payload["outcomes"]:
+        spec = specs[int(outcome["label"])]
+        print("## %s" % (spec.asm or "<empty>"))
+        if outcome["ok"]:
+            print(format_results(outcome.get("values") or {}))
+        else:
+            print("error: %s" % outcome["error"])
+            status = 1
+    print("# job %s: %d spec(s), %d answered from the store, "
+          "%d executed, %d error(s)"
+          % (payload["job_id"], payload["n_specs"],
+             payload["n_store_hits"], payload["n_store_misses"],
+             payload["n_errors"]),
+          file=sys.stderr)
+    return status
+
+
 def run_store(argv: List[str]) -> int:
     """The ``store`` subcommand: offline maintenance of a durable store.
 
@@ -354,11 +570,16 @@ def run_store(argv: List[str]) -> int:
         prog="nanobench store",
         description="inspect and maintain a durable content-addressed "
                     "result store",
+        epilog="exit status: 0 = store healthy and action succeeded; "
+               "1 = damage found (stats/verify: torn tails, quarantined "
+               "corruption, or orphan files) or the action failed; "
+               "2 = bad usage",
     )
     parser.add_argument("action",
                         choices=("stats", "verify", "compact", "gc",
                                  "import"),
-                        help="stats: occupancy and counters; verify: "
+                        help="stats: occupancy and counters (exit 1 if "
+                             "the integrity scan finds damage); verify: "
                              "read-only integrity scan (exit 1 if "
                              "recovery is needed); compact: merge "
                              "segments; gc: evict by -ttl/-max_bytes; "
@@ -398,9 +619,20 @@ def run_store(argv: List[str]) -> int:
             report = verify_store(args.root)
             print(report.describe())
             return 0 if report.ok else 1
+        damaged = False
+        if args.action == "stats":
+            # Read-only integrity scan *before* the store opens (and
+            # heals): damage must surface in the exit status, not be
+            # silently repaired away.
+            report = verify_store(args.root)
+            if not report.ok:
+                damaged = True
+                print(report.describe())
         with ResultStore(args.root) as store:
             if args.action == "stats":
                 print(store.stats().describe())
+                if damaged:
+                    return 1
             elif args.action == "compact":
                 kept = store.compact()
                 print("compacted %s to %d live record(s), %d byte(s)"
@@ -427,6 +659,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_fuzz(argv[1:])
     if argv and argv[0] == "store":
         return run_store(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return run_submit(argv[1:])
     args = build_parser().parse_args(argv)
     if args.faults is not None:
         try:
@@ -627,14 +863,19 @@ def _run_batch_mode(args, options: NanoBenchOptions, config) -> int:
             print("error: %s" % result.error)
             status = 1
     report = runner.last_report
+    store_summary = ""
+    if store is not None:
+        store_summary = ("; store: %d hits, %d misses"
+                         % (report.n_store_hits, report.n_store_misses))
     print(
         "# %d benchmarks, %d errors, %d workers, %.2f s "
         "(%.1f benchmarks/s); codegen cache: %d/%d assemble, "
-        "%d/%d generate hits/misses"
+        "%d/%d generate hits/misses%s"
         % (report.n_specs, report.n_errors, report.jobs,
            report.host_seconds, report.benchmarks_per_second,
            report.assemble_hits, report.assemble_misses,
-           report.generate_hits, report.generate_misses),
+           report.generate_hits, report.generate_misses,
+           store_summary),
         file=sys.stderr,
     )
     if report.n_replayed or report.n_requeues or report.n_worker_deaths \

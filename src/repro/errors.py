@@ -243,6 +243,82 @@ class StoreError(ReproError):
     """Base class for durable result-store failures (:mod:`repro.store`)."""
 
 
+class ServerError(ReproError):
+    """Base class for benchmark-service failures (:mod:`repro.server`).
+
+    Every subclass carries the HTTP status it maps to plus an optional
+    ``retry_after`` hint (seconds), so the service layer can build both
+    the status line and the structured JSON error body — ``type`` /
+    ``message`` / ``retryable`` / ``retry_after`` — without any string
+    matching.  Whether an error is *retryable* is decided the same way
+    as everywhere else in the pipeline: by whether its type is also a
+    :class:`TransientError` (see :func:`is_retryable`).
+
+    :ivar retry_after: suggested client backoff in seconds, or None.
+    """
+
+    #: HTTP status code this error class maps to.
+    http_status = 500
+
+    def __init__(self, message, *, retry_after=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (_rebuild_server_error,
+                (type(self), self.args[0], self.retry_after))
+
+
+def _rebuild_server_error(cls, message, retry_after):
+    return cls(message, retry_after=retry_after)
+
+
+class QuotaExceededError(ServerError, TransientError):
+    """A client exhausted its token-bucket quota (HTTP 429).
+
+    Transient by construction: the bucket refills at a fixed rate, so
+    retrying after ``retry_after`` seconds is expected to succeed.
+    """
+
+    http_status = 429
+
+
+class QueueFullError(ServerError, TransientError):
+    """The server's bounded job queue is at capacity (HTTP 429).
+
+    Transient: queued jobs drain continuously; the client should back
+    off ``retry_after`` seconds and resubmit.
+    """
+
+    http_status = 429
+
+
+class ServerDrainingError(ServerError, TransientError):
+    """The server is draining (SIGTERM) and accepts no new jobs
+    (HTTP 503).  Transient from the fleet's point of view: a restarted
+    or sibling server will accept the job."""
+
+    http_status = 503
+
+
+class JobNotFoundError(ServerError):
+    """No job with the requested id exists on this server (HTTP 404).
+
+    Fatal for the request: job ids are server-assigned, so retrying the
+    same id cannot help.
+    """
+
+    http_status = 404
+
+
+class BadSubmissionError(ServerError):
+    """A submission was malformed — bad JSON, no specs, an oversized
+    batch that can never fit the client's bucket (HTTP 400).  Fatal:
+    the same body will always be rejected."""
+
+    http_status = 400
+
+
 class StoreFullError(StoreError):
     """The store cannot append: the disk is full (ENOSPC) and eviction
     could not reclaim enough space.

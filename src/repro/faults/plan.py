@@ -74,6 +74,20 @@ ENV_SEED = "REPRO_FAULTS_SEED"
 #: * ``disk.full`` — the write fails with ENOSPC; the store truncates
 #:   any partial line, optionally evicts under its size budget, and
 #:   retries.
+#:
+#: Service-plane faults (fired inside :mod:`repro.server`, keyed by a
+#: per-process request / append counter — all fully self-healed, so the
+#: served results must not depend on which occurrences fire):
+#:
+#: * ``server.accept_drop`` — the server drops an accepted connection
+#:   before reading the request (the overloaded-listener / flaky-LB
+#:   shape); the stdlib client retries with bounded backoff;
+#: * ``server.slow_client`` — a handler thread trickles its response out
+#:   in small chunks with bounded stalls (the slow-reader shape); other
+#:   connections must keep making progress;
+#: * ``queue.journal_torn`` — a job-journal append is cut short
+#:   mid-record (kill -9 during accept/ack); the journal truncates back
+#:   to the last durable record and retries.
 DEFAULT_RATES: Dict[str, float] = {
     "kernel.alloc": 0.02,
     "counter.overflow": 0.01,
@@ -84,6 +98,9 @@ DEFAULT_RATES: Dict[str, float] = {
     "spec.error": 0.05,
     "store.torn_write": 0.02,
     "disk.full": 0.01,
+    "server.accept_drop": 0.02,
+    "server.slow_client": 0.02,
+    "queue.journal_torn": 0.02,
 }
 
 FAULT_SITES: Tuple[str, ...] = tuple(sorted(DEFAULT_RATES))

@@ -1,0 +1,175 @@
+"""Tiny stdlib client for the benchmark service.
+
+Used by ``nanobench submit`` and the test suite.  Two deliberate
+behaviours:
+
+* **Typed errors round-trip.**  A structured error response is turned
+  back into the exception class it came from (``QuotaExceededError``,
+  ``QueueFullError``, ...) with its ``retry_after`` hint, so callers
+  use the same ``is_retryable`` taxonomy on both sides of the wire.
+* **Connection drops are retried with bounded deterministic backoff.**
+  The server's ``server.accept_drop`` fault site (and any real flaky
+  listener) hangs up before reading the request; the client retries a
+  fixed number of times with a fixed backoff schedule.  This is safe
+  for submissions too: results are content-addressed, so the worst
+  case of an ambiguous drop is a duplicate job whose specs are all
+  answered from the store.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..batch.spec import BenchmarkSpec
+from ..errors import (
+    BadSubmissionError,
+    JobNotFoundError,
+    QueueFullError,
+    QuotaExceededError,
+    ReproError,
+    ServerDrainingError,
+    ServerError,
+)
+from .jobs import spec_to_payload
+
+#: Error types a structured response body may name (class-name keyed).
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (BadSubmissionError, JobNotFoundError, QueueFullError,
+                QuotaExceededError, ServerDrainingError, ServerError)
+}
+
+#: Connection-level failures worth retrying (the drop shapes).
+_RETRIED_EXCEPTIONS = (ConnectionError, http.client.BadStatusLine,
+                       http.client.RemoteDisconnected, BrokenPipeError)
+
+
+class ServerUnavailableError(ReproError):
+    """The server could not be reached within the retry budget."""
+
+
+class ServerClient:
+    """HTTP client for one ``nanobench serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8431, *,
+                 client: str = "anonymous", timeout: float = 30.0,
+                 retries: int = 5, backoff_seconds: float = 0.05) -> None:
+        self.host = host
+        self.port = int(port)
+        self.client = client
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_seconds = backoff_seconds
+        #: Connection drops absorbed by the retry loop (observability).
+        self.retried_drops = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Tuple[int, dict]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except _RETRIED_EXCEPTIONS as exc:
+                last_exc = exc
+                self.retried_drops += 1
+                # Bounded deterministic backoff: fixed linear schedule,
+                # no jitter — reproducibility beats thundering-herd
+                # lore at this scale.
+                time.sleep(self.backoff_seconds * (attempt + 1))
+                continue
+            except socket.timeout as exc:
+                raise ServerUnavailableError(
+                    "request %s %s timed out after %.1f s"
+                    % (method, path, self.timeout)) from exc
+            finally:
+                connection.close()
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                parsed = {}
+            return response.status, parsed
+        raise ServerUnavailableError(
+            "could not reach http://%s:%d%s after %d attempt(s): %s"
+            % (self.host, self.port, path, self.retries + 1, last_exc))
+
+    def _checked(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        status, parsed = self._request(method, path, payload)
+        if status < 400:
+            return parsed
+        error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+        cls = _ERROR_TYPES.get(error.get("type"), ServerError)
+        raise cls(error.get("message")
+                  or "%s %s failed with HTTP %d" % (method, path, status),
+                  retry_after=error.get("retry_after"))
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> bool:
+        status, _ = self._request("GET", "/healthz")
+        return status == 200
+
+    def readyz(self) -> bool:
+        status, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/v1/stats")
+
+    def submit(self, specs: Sequence[Union[BenchmarkSpec, dict]], *,
+               deadline_seconds: Optional[float] = None) -> dict:
+        """Submit one job; returns the acceptance payload (``job_id``,
+        per-spec ``digests``) or raises the server's typed rejection."""
+        payloads: List[dict] = [
+            spec_to_payload(spec) if isinstance(spec, BenchmarkSpec)
+            else dict(spec)
+            for spec in specs
+        ]
+        body = {"client": self.client, "specs": payloads}
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return self._checked("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", "/v1/jobs/%s" % job_id)
+
+    def result(self, digest: str) -> dict:
+        return self._checked("GET", "/v1/results/%s" % digest)
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_seconds: float = 0.05) -> dict:
+        """Poll until the job is done; returns its final payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload.get("state") == "done":
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServerUnavailableError(
+                    "job %s still %r after %.1f s"
+                    % (job_id, payload.get("state"), timeout))
+            time.sleep(poll_seconds)
+
+    def run(self, specs: Sequence[Union[BenchmarkSpec, dict]], *,
+            deadline_seconds: Optional[float] = None,
+            timeout: float = 120.0) -> dict:
+        """Submit and wait: the one-call convenience wrapper."""
+        accepted = self.submit(specs, deadline_seconds=deadline_seconds)
+        return self.wait(accepted["job_id"], timeout=timeout)

@@ -628,9 +628,12 @@ class TestStoreCli:
         assert cli_main(["store", "verify", root]) == 1
         assert "NEEDS RECOVERY" in capsys.readouterr().out
         assert os.path.getsize(active) == size  # verify healed nothing
-        # Opening (stats) heals; verify is clean afterwards.
-        assert cli_main(["store", "stats", root]) == 0
+        # Stats surfaces the damage in its exit status (while opening
+        # heals it); both are clean afterwards.
+        assert cli_main(["store", "stats", root]) == 1
+        assert "NEEDS RECOVERY" in capsys.readouterr().out
         assert cli_main(["store", "verify", root]) == 0
+        assert cli_main(["store", "stats", root]) == 0
 
     def test_compact_and_gc_subcommands(self, tmp_path, capsys):
         root = str(tmp_path / "store")
