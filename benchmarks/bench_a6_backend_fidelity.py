@@ -8,10 +8,18 @@ full Skylake corpus on both backends with identical measurement
 parameters, report every per-instruction deviation, and time both
 sweeps.  The analytic sweep must be at least an order of magnitude
 faster — that headroom is the whole reason the backend exists.
+
+Since PR 9 the comparison has a second consumer: the tiered fidelity
+router's committed per-event-class error-bound artifact
+(``src/repro/router/data/fidelity_skylake.json``) is derived from this
+report via :func:`repro.router.fidelity_from_comparison`, so running A6
+refreshes the machine-readable table the ``auto`` backend routes by.
 """
 
 import pytest
 
+from repro.router import fidelity_from_comparison, load_fidelity_table
+from repro.router.fidelity import DEFAULT_TABLE_PATH
 from repro.tools import compare_backends, comparison_to_table
 from repro.tools.instr import corpus_for_family
 
@@ -58,3 +66,15 @@ def test_a6_backend_fidelity(benchmark, report):
     assert comparison.speedup >= MIN_SPEEDUP, (
         "analytic sweep only %.1fx faster" % comparison.speedup
     )
+
+    # Refresh the router's committed fidelity artifact from this very
+    # comparison, and require the property the router depends on: the
+    # microcode split keeps ordinary core/uops/ports code trustworthy.
+    table = fidelity_from_comparison(comparison, corpus)
+    table.save(DEFAULT_TABLE_PATH)
+    table = load_fidelity_table()
+    for event_class in ("core", "uops", "ports"):
+        bound = table.bound("analytic", event_class)
+        assert bound is not None and bound.p95 <= 0.5, (
+            event_class, bound)
+    assert table.bound("analytic", "microcode") is not None

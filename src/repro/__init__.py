@@ -39,6 +39,13 @@ from .fuzz import (  # noqa: E402
     GeneratedKernel,
     KernelGenerator,
 )
+from .router import (  # noqa: E402  (registers the "auto" backend)
+    FidelityTable,
+    RoutedBackend,
+    RoutedBench,
+    RouterPolicy,
+    RouterStats,
+)
 from .store import (  # noqa: E402
     ResultStore,
     StoreStats,
@@ -50,6 +57,7 @@ __all__ = [
     "Capabilities",
     "DifferentialFuzzer",
     "DivergenceRecord",
+    "FidelityTable",
     "GeneratedKernel",
     "KernelGenerator",
     "MeasurementBackend",
@@ -57,6 +65,10 @@ __all__ = [
     "NanoBench",
     "NanoBenchOptions",
     "ResultStore",
+    "RoutedBackend",
+    "RoutedBench",
+    "RouterPolicy",
+    "RouterStats",
     "StoreStats",
     "__version__",
     "backend_names",

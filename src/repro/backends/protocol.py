@@ -157,6 +157,19 @@ class MeasurementBackend:
                       seed: int = 0) -> MeasurementTarget:
         raise NotImplementedError
 
+    def create_facade(self, uarch: str = "Skylake", seed: int = 0, *,
+                      kernel_mode: bool = True, options=None, retry=None,
+                      preflight: bool = True, stability=None):
+        """Optional hook: supply a complete NanoBench-shaped facade.
+
+        Most backends return ``None`` (the default) and
+        :meth:`NanoBench.create` wraps :meth:`create_target` in the
+        standard facade.  Composite backends that are not a single
+        target — the ``auto`` router, which owns one facade *per tier*
+        — return their own object here instead.
+        """
+        return None
+
     def describe(self) -> str:
         """One ``name — description`` line for listings."""
         return "%s — %s" % (self.name, self.description)

@@ -37,12 +37,16 @@ from .spec import BatchResult, BenchmarkSpec
 JOURNAL_VERSION = 1
 
 #: BatchResult fields copied verbatim into / out of a journal record.
+#: Append-only: ``result_from_record`` reads each field with ``if name
+#: in record``, so old journals missing the newer fields stay
+#: replayable (they fall back to the BatchResult defaults).
 _RESULT_FIELDS = (
     "error", "host_seconds", "program_runs", "counter_groups",
     "simulated_cycles", "assemble_hits", "assemble_misses",
     "generate_hits", "generate_misses", "sim_instructions",
     "fast_path_instructions", "fast_path_fallbacks", "attempts",
-    "quality_verdict", "backend",
+    "quality_verdict", "backend", "served_by", "router_audited",
+    "router_audit_failed",
 )
 
 

@@ -137,6 +137,10 @@ class BenchmarkSpec:
             quality_verdict=(report.quality.verdict
                              if report.quality is not None else None),
             backend=self.backend,
+            served_by=getattr(nb, "served_by", None) or "",
+            router_audited=bool(getattr(nb, "last_audited", False)),
+            router_audit_failed=bool(getattr(nb, "last_audit_failed",
+                                             False)),
         )
 
 
@@ -174,6 +178,14 @@ class BatchResult:
     quality_verdict: Optional[str] = None
     #: Name of the measurement backend that produced this result.
     backend: str = "sim"
+    #: Routing attribution (``auto`` backend only): the tier that
+    #: actually served the answer (``analytic`` / ``sim`` /
+    #: ``sim-exact``), whether the answer was in the audit sample, and
+    #: whether the audit escalated it.  Empty / False for direct
+    #: backends, which keeps old journal records replayable.
+    served_by: str = ""
+    router_audited: bool = False
+    router_audit_failed: bool = False
 
     @property
     def ok(self) -> bool:

@@ -405,6 +405,10 @@ def run_serve(argv: List[str]) -> int:
     parser.add_argument("-spec_timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-spec deadline when -jobs > 1")
+    parser.add_argument("-no_route", action="store_true",
+                        help="disable tiered fidelity routing: run every "
+                             "default-backend spec on the exact simulator "
+                             "instead of the cheapest trustworthy tier")
     parser.add_argument("-faults", default=None, metavar="SPEC",
                         help="arm the fault-injection plane ('chaos' or "
                              "'site=rate,...'), e.g. "
@@ -436,6 +440,7 @@ def run_serve(argv: List[str]) -> int:
             uop_budget=args.uop_budget,
             default_deadline_seconds=args.job_deadline,
             spec_timeout=args.spec_timeout,
+            route_specs=not args.no_route,
         )
         server = BenchServer(queue, host=args.host, port=args.port,
                              drain_timeout=args.drain_timeout,

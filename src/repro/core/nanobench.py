@@ -131,6 +131,10 @@ class ExecutionReport:
     #: events, fallbacks, and host wall-time (see
     #: :class:`repro.uarch.core.SimStats`).
     sim_stats: Dict[str, float] = field(default_factory=dict)
+    #: Routing attribution (``auto`` backend only): which tier served
+    #: the call, whether it was audited, and the router's cumulative
+    #: :class:`~repro.router.router.RouterStats` snapshot.
+    router: Optional[Dict[str, object]] = None
 
     def wall_time_ms(self, kernel_mode: bool, frequency_ghz: float) -> float:
         """Modelled wall-clock time of the equivalent native invocation."""
@@ -228,6 +232,12 @@ class NanoBench:
             context="cannot create the %s-space variant"
                     % ("kernel" if kernel_mode else "user"),
         )
+        facade = backend_obj.create_facade(
+            uarch, seed, kernel_mode=kernel_mode, options=options,
+            retry=retry, preflight=preflight, stability=stability,
+        )
+        if facade is not None:
+            return facade
         target = backend_obj.create_target(uarch, seed=seed)
         return cls(target, kernel_mode=kernel_mode, options=options,
                    retry=retry, preflight=preflight, stability=stability,

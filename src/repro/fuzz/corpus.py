@@ -36,8 +36,9 @@ CORPUS_VERSION = 1
 #: Divergence categories, in severity order.  ``fastpath`` and
 #: ``batch`` compare the same simulator against itself (any mismatch is
 #: a bug); ``analytic`` compares the model against the simulator and is
-#: tolerance-banded.
-CATEGORIES = ("fastpath", "batch", "analytic")
+#: tolerance-banded; ``router`` records audit failures of the tiered
+#: fidelity router (a cheap-tier answer that drifted past tolerance).
+CATEGORIES = ("fastpath", "batch", "analytic", "router")
 
 
 @dataclass(frozen=True)

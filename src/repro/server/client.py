@@ -33,6 +33,7 @@ from ..errors import (
     ReproError,
     ServerDrainingError,
     ServerError,
+    is_retryable,
 )
 from .jobs import spec_to_payload
 
@@ -155,17 +156,33 @@ class ServerClient:
 
     def wait(self, job_id: str, *, timeout: float = 120.0,
              poll_seconds: float = 0.05) -> dict:
-        """Poll until the job is done; returns its final payload."""
+        """Poll until the job is done; returns its final payload.
+
+        Every sleep — the poll interval and any server-suggested
+        ``retry_after`` from a retryable rejection — is capped at the
+        remaining time budget, so a 5 s timeout can never turn into a
+        30 s hang on a server suggesting long backoffs.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            payload = self.job(job_id)
+            delay = poll_seconds
+            try:
+                payload = self.job(job_id)
+            except ReproError as exc:
+                if not is_retryable(exc):
+                    raise
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after:
+                    delay = float(retry_after)
+                payload = {"state": "backoff"}
             if payload.get("state") == "done":
                 return payload
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServerUnavailableError(
                     "job %s still %r after %.1f s"
                     % (job_id, payload.get("state"), timeout))
-            time.sleep(poll_seconds)
+            time.sleep(min(delay, remaining))
 
     def run(self, specs: Sequence[Union[BenchmarkSpec, dict]], *,
             deadline_seconds: Optional[float] = None,

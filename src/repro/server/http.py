@@ -296,9 +296,16 @@ class BenchServer:
     # ------------------------------------------------------------------
     def stats_payload(self) -> dict:
         store_stats = self.queue.store.stats()
+        queue_stats = self.queue.stats()
         payload = {
             "uptime_seconds": time.time() - self.started_ts,
-            "queue": vars(self.queue.stats()),
+            "queue": vars(queue_stats),
+            "router": {
+                "routing": bool(getattr(self.queue, "route_specs", False)),
+                "tiers": dict(queue_stats.router_tiers),
+                "audits": queue_stats.router_audits,
+                "audit_failures": queue_stats.router_audit_failures,
+            },
             "store": {
                 "records": store_stats.records,
                 "segments": store_stats.segments,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -211,9 +212,15 @@ class JobJournal:
     next open to choke on.
     """
 
-    def __init__(self, path: str, *, fsync: bool = True) -> None:
+    def __init__(self, path: str, *, fsync: bool = True,
+                 clock=time.monotonic) -> None:
         self.path = os.fspath(path)
         self.fsync = fsync
+        #: Timestamp source for appends without an explicit ``ts``.
+        #: Monotonic by default — journal ``ts`` values only order
+        #: lifecycle transitions, and a wall-clock step (NTP, suspend)
+        #: must not be able to reorder them across a crash-resume.
+        self._clock = clock
         self._handle = None
         self._lock = threading.Lock()
         self.healed_torn_appends = 0
@@ -254,9 +261,9 @@ class JobJournal:
             return jobs
 
     # ------------------------------------------------------------------
-    def append(self, job: Job, ts: float) -> dict:
+    def append(self, job: Job, ts: Optional[float] = None) -> dict:
         """Durably journal *job*'s current state (the ack point)."""
-        record = job_record(job, ts)
+        record = job_record(job, self._clock() if ts is None else ts)
         line = encode_record(record)
         plan = active_plan()
         with self._lock:

@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import os
 
+from ..backends.registry import DEFAULT_BACKEND
 from ..batch.checkpoint import spec_digest
 from ..batch.runner import BatchRunner
 from ..batch.spec import BenchmarkSpec
@@ -77,6 +78,13 @@ class QueueStats:
     spec_errors: int = 0
     journal_healed_torn_appends: int = 0
     draining: bool = False
+    #: Routing attribution of answered specs: store replays count under
+    #: ``"store"``, routed executions under the tier that served them
+    #: (``analytic`` / ``sim`` / ``sim-exact``).  Un-routed specs (an
+    #: explicit non-``auto`` backend) are not attributed here.
+    router_tiers: Dict[str, int] = dataclass_field(default_factory=dict)
+    router_audits: int = 0
+    router_audit_failures: int = 0
 
 
 class JobQueue:
@@ -104,6 +112,19 @@ class JobQueue:
         Per-job wall deadline when a submission does not set one.
     spec_timeout / max_requeues:
         Forwarded to :class:`BatchRunner` (pool mode only).
+    route_specs:
+        When True, specs submitted on the default backend are rewritten
+        to the tiered ``auto`` router before admission, so the service
+        serves each from the cheapest trustworthy tier.  Only specs on
+        the registry default backend are rewritten; any other
+        explicitly pinned backend is respected.
+    clock:
+        The monotonic time source for deadlines, drain budgets, and
+        journal timestamps.  Defaults to the quota policy's clock (so
+        one injected clock drives admission *and* execution timing in
+        tests), or ``time.monotonic`` without a quota.  Wall-clock
+        (``time.time``) is deliberately not used anywhere: an NTP step
+        or suspend must not reorder journal records or expire jobs.
     """
 
     def __init__(
@@ -119,6 +140,8 @@ class JobQueue:
         spec_timeout: Optional[float] = None,
         max_requeues: int = 2,
         fsync: bool = True,
+        route_specs: bool = False,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.store = open_store(store)
         self._owns_store = not isinstance(store, ResultStore)
@@ -130,8 +153,13 @@ class JobQueue:
         self.default_deadline_seconds = default_deadline_seconds
         self.spec_timeout = spec_timeout
         self.max_requeues = max_requeues
+        self.route_specs = route_specs
+        if clock is None:
+            clock = (quota._clock if quota is not None else time.monotonic)
+        self._clock = clock
         self.journal = JobJournal(
-            os.path.join(self.store.root, JOB_JOURNAL_NAME), fsync=fsync
+            os.path.join(self.store.root, JOB_JOURNAL_NAME), fsync=fsync,
+            clock=clock,
         )
         self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
@@ -169,7 +197,7 @@ class JobQueue:
                     job.state = ACCEPTED
                     job.outcomes = []
                     job.recoveries += 1
-                    self.journal.append(job, time.time())
+                    self.journal.append(job)
                     self._pending.append(job_id)
                     recovered += 1
             self._pending.sort()
@@ -182,11 +210,13 @@ class JobQueue:
     # Admission
     # ------------------------------------------------------------------
     def _with_budgets(self, spec: BenchmarkSpec) -> BenchmarkSpec:
-        """Inject the queue's watchdog budgets into a budget-less spec."""
-        if self.cycle_budget is None and self.uop_budget is None:
-            return spec
+        """Inject the queue's watchdog budgets (and, with
+        ``route_specs``, the ``auto`` router) into a submitted spec."""
+        backend = spec.backend
+        if self.route_specs and backend == DEFAULT_BACKEND:
+            backend = "auto"
         options = dict(spec.options)
-        changed = False
+        changed = backend != spec.backend
         for name, value in (("cycle_budget", self.cycle_budget),
                             ("uop_budget", self.uop_budget)):
             if value is not None and options.get(name) is None:
@@ -198,7 +228,7 @@ class JobQueue:
             asm=spec.asm, asm_init=spec.asm_init, events=spec.events,
             uarch=spec.uarch, seed=spec.seed, kernel_mode=spec.kernel_mode,
             options=tuple(sorted(options.items())), label=spec.label,
-            stability=spec.stability, backend=spec.backend,
+            stability=spec.stability, backend=backend,
         )
 
     def _pending_specs_locked(self) -> int:
@@ -238,7 +268,7 @@ class JobQueue:
                 job_id="job-%08d" % self._next_id,
                 client=client,
                 specs=list(specs),
-                created_ts=time.time(),
+                created_ts=self._clock(),
                 deadline_seconds=(self.default_deadline_seconds
                                   if deadline_seconds is None
                                   else deadline_seconds),
@@ -246,7 +276,7 @@ class JobQueue:
             self._next_id += 1
             # The admission ack point: the job is durable before the
             # client hears "accepted".
-            self.journal.append(job, time.time())
+            self.journal.append(job)
             self._jobs[job.job_id] = job
             self._pending.append(job.job_id)
             self.stats_counters.jobs_accepted += 1
@@ -270,6 +300,7 @@ class JobQueue:
     def stats(self) -> QueueStats:
         with self._lock:
             snapshot = QueueStats(**vars(self.stats_counters))
+            snapshot.router_tiers = dict(self.stats_counters.router_tiers)
             snapshot.pending_jobs = len(self._pending) \
                 + (1 if self._running else 0)
             snapshot.pending_specs = self._pending_specs_locked()
@@ -311,7 +342,7 @@ class JobQueue:
                 job.n_store_hits = 0
                 job.n_store_misses = 0
                 job.error = None
-                self.journal.append(job, time.time())
+                self.journal.append(job)
             try:
                 self._run_job(job)
             finally:
@@ -321,7 +352,7 @@ class JobQueue:
 
     def _drain_expired(self) -> bool:
         return (self._drain_deadline is not None
-                and time.monotonic() >= self._drain_deadline)
+                and self._clock() >= self._drain_deadline)
 
     def _run_job(self, job: Job) -> None:
         runner = BatchRunner(
@@ -331,11 +362,14 @@ class JobQueue:
             store=self.store,
         )
         digests = job.digests
-        started = time.monotonic()
+        started = self._clock()
         deadline = (None if job.deadline_seconds is None
                     else started + job.deadline_seconds)
         checkpointed = False
         expired = False
+        tier_counts: Dict[str, int] = {}
+        audits = 0
+        audit_failures = 0
         results = runner.iter_results(job.specs)
         try:
             for index, result in enumerate(results):
@@ -345,13 +379,24 @@ class JobQueue:
                     "ok": result.ok,
                     "error": result.error,
                     "from_store": result.replayed,
+                    "served_by": ("store" if result.replayed
+                                  else result.served_by or None),
                 })
+                if result.replayed:
+                    tier_counts["store"] = tier_counts.get("store", 0) + 1
+                elif result.served_by:
+                    tier_counts[result.served_by] = \
+                        tier_counts.get(result.served_by, 0) + 1
+                if result.router_audited:
+                    audits += 1
+                if result.router_audit_failed:
+                    audit_failures += 1
                 if not result.ok:
                     job.n_errors += 1
                 remaining = len(job.specs) - len(job.outcomes)
                 if remaining == 0:
                     break
-                if deadline is not None and time.monotonic() >= deadline:
+                if deadline is not None and self._clock() >= deadline:
                     expired = True
                     break
                 if self._draining and self._drain_expired():
@@ -374,6 +419,11 @@ class JobQueue:
             job.host_seconds = report.host_seconds
             self.stats_counters.specs_executed += executed
             self.stats_counters.specs_from_store += hits
+            for tier, count in tier_counts.items():
+                self.stats_counters.router_tiers[tier] = \
+                    self.stats_counters.router_tiers.get(tier, 0) + count
+            self.stats_counters.router_audits += audits
+            self.stats_counters.router_audit_failures += audit_failures
             self.stats_counters.spec_errors += job.n_errors
             if checkpointed:
                 # Drain checkpoint: everything acked so far is in the
@@ -393,6 +443,7 @@ class JobQueue:
                             "error": "job deadline of %.3f s exceeded"
                                      % job.deadline_seconds,
                             "from_store": False,
+                            "served_by": None,
                         })
                         job.n_errors += 1
                         self.stats_counters.spec_errors += 1
@@ -403,7 +454,7 @@ class JobQueue:
                                     len(job.specs)))
                 job.state = DONE
                 self.stats_counters.jobs_completed += 1
-            self.journal.append(job, time.time())
+            self.journal.append(job)
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -419,7 +470,7 @@ class JobQueue:
         with self._lock:
             self._draining = True
             if timeout is not None:
-                self._drain_deadline = time.monotonic() + timeout
+                self._drain_deadline = self._clock() + timeout
             self._wakeup.notify_all()
         worker = self._worker
         if worker is not None:

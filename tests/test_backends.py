@@ -85,6 +85,13 @@ class TestRegistry:
     def test_backends_satisfy_protocol(self):
         for backend in list_backends():
             assert isinstance(backend, MeasurementBackend)
+            facade = backend.create_facade("Skylake", 0)
+            if facade is not None:
+                # Composite backends (the router) supply a NanoBench-
+                # shaped facade instead of a single target.
+                assert callable(facade.run)
+                assert facade.capabilities is backend.capabilities
+                continue
             target = backend.create_target("Skylake", seed=0)
             assert isinstance(target, MeasurementTarget)
 
